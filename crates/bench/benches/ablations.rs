@@ -1,0 +1,101 @@
+//! Ablations over the design choices called out in `DESIGN.md`:
+//!
+//! * spurious-variable style — scheme (2) (fresh secondary effect
+//!   variables) vs scheme (3) (identify with the function's arrow handle),
+//! * GC trigger threshold sweep,
+//! * generational vs non-generational collection.
+//!
+//! ```sh
+//! cargo bench -p rml-bench --bench ablations
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rml::{compile_with_basis, execute, ExecOpts, SpuriousStyle, Strategy};
+use rml_eval::GcPolicy;
+
+fn bench_spurious_style(c: &mut Criterion) {
+    let p = rml::programs::by_name("compose").unwrap();
+    let mut group = c.benchmark_group("spurious_style_compile");
+    group.sample_size(20);
+    for (label, style) in [
+        ("identify(3)", SpuriousStyle::Identify),
+        ("secondary(2)", SpuriousStyle::Secondary),
+    ] {
+        let full = format!("{}\n{}", rml::basis::BASIS, p.source);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                rml::pipeline::compile_opts(&full, Strategy::Rg, style).expect("compile")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gc_threshold(c: &mut Criterion) {
+    let p = rml::programs::by_name("life").unwrap();
+    let compiled = compile_with_basis(p.source, Strategy::Rg).expect("compile");
+    let mut group = c.benchmark_group("gc_threshold_life");
+    group.sample_size(10);
+    for min_kb in [4u64, 64, 512] {
+        group.bench_function(format!("min_{min_kb}k"), |b| {
+            let opts = ExecOpts {
+                gc: Some(GcPolicy::On {
+                    min_bytes: min_kb * 1024,
+                    ratio: 1.5,
+                    generational: false,
+                }),
+                ..ExecOpts::default()
+            };
+            b.iter(|| execute(&compiled, &opts).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generational(c: &mut Criterion) {
+    let p = rml::programs::by_name("msort").unwrap();
+    let compiled = compile_with_basis(p.source, Strategy::Rg).expect("compile");
+    let mut group = c.benchmark_group("generational_msort");
+    group.sample_size(10);
+    for (label, generational) in [("major_only", false), ("generational", true)] {
+        let opts = ExecOpts {
+            gc: Some(GcPolicy::On {
+                min_bytes: 16 * 1024,
+                ratio: 1.3,
+                generational,
+            }),
+            ..ExecOpts::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| execute(&compiled, &opts).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tag_free(c: &mut Criterion) {
+    // Section 6: the partly tag-free representation of pairs/refs/cons.
+    let p = rml::programs::by_name("msort").unwrap();
+    let compiled = compile_with_basis(p.source, Strategy::Rg).expect("compile");
+    let mut group = c.benchmark_group("tag_free_msort");
+    group.sample_size(10);
+    for (label, tag_free) in [("tagged", false), ("untagged", true)] {
+        let opts = ExecOpts {
+            tag_free,
+            ..ExecOpts::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| execute(&compiled, &opts).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spurious_style,
+    bench_gc_threshold,
+    bench_generational,
+    bench_tag_free
+);
+criterion_main!(benches);

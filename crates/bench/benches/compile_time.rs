@@ -1,0 +1,55 @@
+//! E6: the paper's Section 4.2/5 claim that the GC-safety modifications
+//! have little effect on *compilation* performance: region inference with
+//! spurious type variables (`rg`) vs without (`rg-`) vs plain (`r`), over
+//! the whole benchmark suite plus the basis.
+//!
+//! ```sh
+//! cargo bench -p rml-bench --bench compile_time
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rml::{compile_with_basis, Strategy};
+
+fn bench_compile(c: &mut Criterion) {
+    let sources: Vec<&'static str> = rml::programs::suite()
+        .iter()
+        .map(|p| p.source)
+        .collect();
+    let mut group = c.benchmark_group("compile_suite");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("rg", Strategy::Rg),
+        ("rg-", Strategy::RgMinus),
+        ("r", Strategy::R),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for src in &sources {
+                    let _ = compile_with_basis(src, strategy).expect("compile");
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Phase split on one mid-sized program.
+    let p = rml::programs::by_name("life").unwrap();
+    let full = format!("{}\n{}", rml::basis::BASIS, p.source);
+    let mut phases = c.benchmark_group("phases_life");
+    phases.sample_size(20);
+    phases.bench_function("parse", |b| {
+        b.iter(|| rml_syntax::parse_program(&full).unwrap())
+    });
+    let ast = rml_syntax::parse_program(&full).unwrap();
+    phases.bench_function("hm", |b| b.iter(|| rml_hm::infer_program(&ast).unwrap()));
+    let typed = rml_hm::infer_program(&ast).unwrap();
+    phases.bench_function("region_inference", |b| {
+        b.iter(|| rml_infer::infer(&typed, Default::default()).unwrap())
+    });
+    let out = rml_infer::infer(&typed, Default::default()).unwrap();
+    phases.bench_function("repr_analysis", |b| b.iter(|| rml_repr::analyze(&out.term)));
+    phases.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks over the Figure 9 suite: execution time per
+//! program per compilation strategy (`rg`, `rg-`, `r`, baseline).
+//!
+//! ```sh
+//! cargo bench -p rml-bench --bench figure9
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rml::{compile_with_basis, execute, ExecOpts, Strategy};
+
+fn bench_suite(c: &mut Criterion) {
+    // A representative subset: pure-stack (fib), region-friendly (msort),
+    // GC-essential (life), and spurious-heavy (compose).
+    for name in ["fib", "msort", "life", "compose", "sieve"] {
+        let p = rml::programs::by_name(name).expect("program");
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        for (label, strategy, baseline) in [
+            ("rg", Strategy::Rg, false),
+            ("rg-", Strategy::RgMinus, false),
+            ("r", Strategy::R, false),
+            ("baseline", Strategy::Rg, true),
+        ] {
+            let compiled = compile_with_basis(p.source, strategy).expect("compile");
+            let opts = ExecOpts {
+                baseline,
+                ..ExecOpts::default()
+            };
+            group.bench_function(label, |b| {
+                b.iter(|| execute(&compiled, &opts).expect("run"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates the paper's Figure 9 benchmark table.
+//!
+//! ```sh
+//! cargo run --release -p rml-bench --bin figure9 [repeats]
+//! ```
+//!
+//! Columns follow the paper: `loc` (program lines, basis excluded),
+//! `fcns` (spurious functions / total), `inst` (spurious type variables
+//! instantiated at boxed types / total instantiations), `diff` (whether
+//! the spurious machinery changed the generated code), wall-clock time
+//! per strategy, peak memory (`rss`), and collection counts (`gc`).
+
+fn main() {
+    let repeats = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    eprintln!("running the Figure 9 suite (best of {repeats})...");
+    let rows = rml_bench::figure9(repeats);
+    println!("{}", rml_bench::render(&rows));
+}

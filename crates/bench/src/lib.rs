@@ -1,0 +1,288 @@
+//! The benchmark harness that regenerates the paper's evaluation.
+//!
+//! [`figure9`] produces, for every program of the suite, the full row of
+//! the paper's Figure 9: lines of code, spurious-function and
+//! spurious-instantiation counts, whether the spurious machinery changed
+//! the generated code (`diff`), and — per compilation strategy (`rg`,
+//! `rg-`, `r`, plus the regionless `baseline` standing in for MLton) —
+//! execution time, machine steps, allocation, peak memory (the simulated
+//! RSS), and the number of reference-tracing collections.
+
+use rml::{compile_with_basis, execute, programs::Program, ExecOpts, Strategy};
+use std::time::{Duration, Instant};
+
+/// Per-strategy measurements.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Strategy label (`rg`, `rg-`, `r`, `baseline`).
+    pub label: &'static str,
+    /// Wall-clock time of the run (best of `repeats`).
+    pub time: Duration,
+    /// Machine steps (deterministic time proxy).
+    pub steps: u64,
+    /// Bytes allocated.
+    pub alloc_bytes: u64,
+    /// Peak live bytes (the paper's `rss`).
+    pub peak_bytes: u64,
+    /// Reference-tracing collections (the paper's `gc #`).
+    pub gc_count: u64,
+    /// Whether the run crashed (dangling pointer under `rg-`).
+    pub crashed: bool,
+}
+
+/// One row of the table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name.
+    pub name: &'static str,
+    /// Lines of code (excluding the basis).
+    pub loc: usize,
+    /// Spurious functions / total functions (program + basis).
+    pub fcns: (usize, usize),
+    /// Spurious boxed instantiations / total instantiations.
+    pub insts: (usize, usize),
+    /// Did the spurious machinery change the generated code (rg vs rg-)?
+    pub diff: bool,
+    /// Measurements for rg, rg-, r, baseline (in that order).
+    pub runs: Vec<Measurement>,
+}
+
+/// Runs one program under one strategy, best-of-`repeats`.
+pub fn measure(
+    p: &Program,
+    strategy: Strategy,
+    baseline: bool,
+    label: &'static str,
+    repeats: usize,
+) -> Measurement {
+    let c = compile_with_basis(p.source, strategy).expect("compile failed");
+    let opts = ExecOpts {
+        baseline,
+        ..ExecOpts::default()
+    };
+    let mut best = Duration::MAX;
+    let mut last = None;
+    let mut crashed = false;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        match execute(&c, &opts) {
+            Ok(out) => {
+                best = best.min(t0.elapsed());
+                last = Some(out);
+            }
+            Err(_) => {
+                crashed = true;
+                break;
+            }
+        }
+    }
+    match last {
+        Some(out) if !crashed => Measurement {
+            label,
+            time: best,
+            steps: out.steps,
+            alloc_bytes: out.stats.bytes_allocated,
+            peak_bytes: out.stats.peak_bytes(),
+            gc_count: out.stats.gc_count,
+            crashed: false,
+        },
+        _ => Measurement {
+            label,
+            time: Duration::ZERO,
+            steps: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+            gc_count: 0,
+            crashed: true,
+        },
+    }
+}
+
+/// Normalises variable names (`r17`, `e3`, `a5`) to first-occurrence
+/// indices so region-annotated programs from different compilations can be
+/// compared structurally (the `diff` column).
+pub fn normalize_vars(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut maps: [std::collections::HashMap<String, usize>; 3] = Default::default();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let class = match c {
+            'r' => Some(0),
+            'e' => Some(1),
+            'a' => Some(2),
+            _ => None,
+        };
+        // A variable token is r/e/a followed by digits, not preceded by an
+        // identifier character.
+        let prev_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        if let (Some(k), false) = (class, prev_ident) {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && (j == bytes.len() || !(bytes[j].is_ascii_alphanumeric())) {
+                let tok = &s[i..j];
+                let next = maps[k].len();
+                let id = *maps[k].entry(tok.to_string()).or_insert(next);
+                out.push(c);
+                out.push('#');
+                out.push_str(&id.to_string());
+                i = j;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Function names defined by a program's own source (not the basis).
+fn own_functions(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut toks = src.split_whitespace().peekable();
+    while let Some(t) = toks.next() {
+        if t == "fun" || t == "and" {
+            if let Some(name) = toks.peek() {
+                out.push(name.trim_matches(|c: char| !c.is_alphanumeric() && c != '_').to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Does the spurious machinery change the generated code for `p`'s own
+/// functions (the paper's `diff` column — the basis is compiled either
+/// way, so only the benchmark's own schemes count)?
+pub fn code_differs(p: &Program) -> bool {
+    let rg = compile_with_basis(p.source, Strategy::Rg).expect("compile");
+    let rgm = compile_with_basis(p.source, Strategy::RgMinus).expect("compile");
+    let own = own_functions(p.source);
+    let render = |c: &rml::Compiled| -> Vec<String> {
+        c.output
+            .schemes
+            .iter()
+            .filter(|(n, _)| own.iter().any(|o| o == n.as_str()))
+            .map(|(n, s)| {
+                format!("{n}:{}", normalize_vars(&rml_core::pretty::scheme_to_string(s)))
+            })
+            .collect()
+    };
+    render(&rg) != render(&rgm)
+}
+
+/// Builds one Figure 9 row. The `fcns`/`inst` counts are for the program
+/// itself (basis counts subtracted, as the paper excludes the Basis
+/// Library from the per-benchmark columns).
+pub fn row(p: &Program, repeats: usize) -> Row {
+    let rg = compile_with_basis(p.source, Strategy::Rg).expect("compile");
+    let basis = rml::compile(rml::basis::BASIS, Strategy::Rg).expect("compile basis");
+    let sub = |a: usize, b: usize| a.saturating_sub(b);
+    Row {
+        name: p.name,
+        loc: p.loc(),
+        fcns: (
+            sub(rg.output.stats.spurious_fns, basis.output.stats.spurious_fns),
+            sub(rg.output.stats.total_fns, basis.output.stats.total_fns),
+        ),
+        insts: (
+            sub(
+                rg.output.stats.spurious_boxed_insts,
+                basis.output.stats.spurious_boxed_insts,
+            ),
+            sub(rg.output.stats.total_insts, basis.output.stats.total_insts),
+        ),
+        diff: code_differs(p),
+        runs: vec![
+            measure(p, Strategy::Rg, false, "rg", repeats),
+            measure(p, Strategy::RgMinus, false, "rg-", repeats),
+            measure(p, Strategy::R, false, "r", repeats),
+            measure(p, Strategy::Rg, true, "baseline", repeats),
+        ],
+    }
+}
+
+/// The whole table.
+pub fn figure9(repeats: usize) -> Vec<Row> {
+    rml::programs::suite()
+        .iter()
+        .map(|p| row(p, repeats))
+        .collect()
+}
+
+fn kb(bytes: u64) -> String {
+    format!("{}k", bytes / 1024)
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>4} {:>8} {:>9} {:>4} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>6} {:>6}",
+        "program", "loc", "fcns", "inst", "diff",
+        "rg", "rg-", "r", "mlton*",
+        "rss rg", "rss rg-", "rss r", "rss ml*",
+        "gc rg", "gc rg-"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(150));
+    for r in rows {
+        let t = |m: &Measurement| {
+            if m.crashed {
+                "CRASH".to_string()
+            } else {
+                format!("{:.1}ms", m.time.as_secs_f64() * 1000.0)
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{:<12} {:>4} {:>8} {:>9} {:>4} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>6} {:>6}",
+            r.name,
+            r.loc,
+            format!("{}/{}", r.fcns.0, r.fcns.1),
+            format!("{}/{}", r.insts.0, r.insts.1),
+            if r.diff { "y" } else { "" },
+            t(&r.runs[0]),
+            t(&r.runs[1]),
+            t(&r.runs[2]),
+            t(&r.runs[3]),
+            kb(r.runs[0].peak_bytes),
+            kb(r.runs[1].peak_bytes),
+            kb(r.runs[2].peak_bytes),
+            kb(r.runs[3].peak_bytes),
+            r.runs[0].gc_count,
+            r.runs[1].gc_count,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\n(*) the regionless tracing-GC machine stands in for a conventional compiler."
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_vars_is_alpha_invariant() {
+        let a = "letregion r5 in (fun f [e3 ] x = x at r5)0 end";
+        let b = "letregion r9 in (fun f [e7 ] x = x at r9)0 end";
+        assert_eq!(normalize_vars(a), normalize_vars(b));
+        let c = "letregion r5 r6 in (fun f [e3 ] x = x at r6)0 end";
+        assert_ne!(normalize_vars(a), normalize_vars(c));
+    }
+
+    #[test]
+    fn one_row_has_all_strategies() {
+        let p = rml::programs::by_name("fib").unwrap();
+        let r = row(&p, 1);
+        assert_eq!(r.runs.len(), 4);
+        assert!(r.runs.iter().all(|m| !m.crashed));
+        assert!(r.loc > 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Type containment `Ω ⊢ µ : φ` and type scheme containment `Ω ⊢ π : φ`
+//! (paper Section 3.2).
+//!
+//! Containment expresses that a type "lives within" an effect: all the
+//! regions and effect variables the type mentions — **including, through
+//! `Ω`, the arrow effects associated with its type variables** — appear in
+//! `φ`. This is the relation the GC-safety side condition is built from,
+//! and the `Ω ⊢ α : φ  ⇔  frev(Ω(α)) ⊆ φ` rule for type variables is the
+//! paper's key addition over earlier work.
+
+use crate::types::{BoxTy, Delta, Mu, Pi};
+use crate::vars::{Atom, Effect};
+
+/// Checks `Ω ⊢ µ : φ`.
+pub fn mu_contained(omega: &Delta, mu: &Mu, phi: &Effect) -> bool {
+    mu_contained_with(omega, mu, phi, false)
+}
+
+/// Checks `Ω ⊢ µ : φ`, optionally treating type variables as vacuously
+/// contained (`vacuous_tyvars = true` reproduces the *pre-paper* relation
+/// of \[13\]/\[45, p. 50\], which is not closed under type substitution — the
+/// unsound `rg-` discipline of the benchmarks).
+pub fn mu_contained_with(omega: &Delta, mu: &Mu, phi: &Effect, vacuous_tyvars: bool) -> bool {
+    match mu {
+        Mu::Int | Mu::Bool | Mu::Unit => true,
+        Mu::Var(a) => {
+            if vacuous_tyvars {
+                return true;
+            }
+            match omega.get(a) {
+                Some(ae) => ae.frev().is_subset(phi),
+                // A type variable not in Ω cannot be contained (the
+                // sentence is only derivable when α ∈ dom(Ω)).
+                None => false,
+            }
+        }
+        Mu::Boxed(b, rho) => {
+            phi.contains(&Atom::Reg(*rho)) && boxty_contained_with(omega, b, phi, vacuous_tyvars)
+        }
+    }
+}
+
+/// Checks containment for the body constructors of a boxed type (the place
+/// itself is checked by [`mu_contained`]).
+pub fn boxty_contained(omega: &Delta, t: &BoxTy, phi: &Effect) -> bool {
+    boxty_contained_with(omega, t, phi, false)
+}
+
+/// As [`boxty_contained`], with optional vacuous type variables.
+pub fn boxty_contained_with(omega: &Delta, t: &BoxTy, phi: &Effect, vac: bool) -> bool {
+    match t {
+        BoxTy::Pair(a, b) => {
+            mu_contained_with(omega, a, phi, vac) && mu_contained_with(omega, b, phi, vac)
+        }
+        BoxTy::Arrow(a, ae, b) => {
+            mu_contained_with(omega, a, phi, vac)
+                && mu_contained_with(omega, b, phi, vac)
+                && ae.latent.is_subset(phi)
+                && phi.contains(&Atom::Eff(ae.handle))
+        }
+        BoxTy::Str | BoxTy::Exn => true,
+        BoxTy::List(e) | BoxTy::Ref(e) => mu_contained_with(omega, e, phi, vac),
+    }
+}
+
+/// Checks `Ω ⊢ π : φ`.
+///
+/// For the scheme form `(∀ρ⃗ε⃗.∀∆.τ, ρ)`, bound variables are first renamed
+/// fresh (types are identified up to renaming of bound variables), then the
+/// body is checked in `Ω + ∆` against `φ` extended with the bound
+/// variables, mirroring the rule
+///
+/// ```text
+/// Ω ⊢ σ : φ    ρ ∈ φ    {ρ⃗ε⃗} ∩ frev(Ω, ρ) = ∅
+/// ---------------------------------------------
+/// Ω ⊢ (∀ρ⃗ε⃗.σ, ρ) : φ \ {ρ⃗ε⃗}
+/// ```
+pub fn pi_contained(omega: &Delta, pi: &Pi, phi: &Effect) -> bool {
+    pi_contained_with(omega, pi, phi, false)
+}
+
+/// As [`pi_contained`], with optional vacuous type variables.
+pub fn pi_contained_with(omega: &Delta, pi: &Pi, phi: &Effect, vac: bool) -> bool {
+    match pi {
+        Pi::Mu(m) => mu_contained_with(omega, m, phi, vac),
+        Pi::Scheme(s, rho) => {
+            if !phi.contains(&Atom::Reg(*rho)) {
+                return false;
+            }
+            let s = crate::subst::freshen_scheme(s);
+            // dom(∆) ∩ dom(Ω) = ∅ holds after freshening.
+            let mut ext = omega.clone();
+            ext.extend(s.delta.iter().cloned());
+            let mut phi2 = phi.clone();
+            for r in &s.rvars {
+                phi2.insert(Atom::Reg(*r));
+            }
+            for e in &s.evars {
+                phi2.insert(Atom::Eff(*e));
+            }
+            // The arrow effects recorded in ∆ are part of the scheme and
+            // must be contained as well (they stand for effects that the
+            // instantiation of each type variable will flow into).
+            for (_, ae) in &s.delta {
+                if !ae.frev().is_subset(&phi2) {
+                    return false;
+                }
+            }
+            boxty_contained_with(&ext, &s.body, &phi2, vac)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Scheme;
+    use crate::vars::{effect, ArrowEff, EffVar, RegVar, TyVar};
+
+    #[test]
+    fn ints_always_contained() {
+        assert!(mu_contained(&Delta::new(), &Mu::Int, &Effect::new()));
+        assert!(mu_contained(&Delta::new(), &Mu::Unit, &Effect::new()));
+    }
+
+    #[test]
+    fn boxed_requires_place() {
+        let r = RegVar::fresh();
+        let m = Mu::string(r);
+        assert!(!mu_contained(&Delta::new(), &m, &Effect::new()));
+        assert!(mu_contained(
+            &Delta::new(),
+            &m,
+            &effect([Atom::Reg(r)])
+        ));
+    }
+
+    #[test]
+    fn tyvar_contained_through_omega() {
+        // Ω ⊢ α : φ iff frev(Ω(α)) ⊆ φ — the paper's crucial rule.
+        let a = TyVar::fresh();
+        let e = EffVar::fresh();
+        let r = RegVar::fresh();
+        let mut omega = Delta::new();
+        omega.insert(a, ArrowEff::new(e, effect([Atom::Reg(r)])));
+        let m = Mu::Var(a);
+        assert!(!mu_contained(&omega, &m, &effect([Atom::Eff(e)])));
+        assert!(mu_contained(
+            &omega,
+            &m,
+            &effect([Atom::Eff(e), Atom::Reg(r)])
+        ));
+    }
+
+    #[test]
+    fn tyvar_without_omega_entry_not_contained() {
+        let a = TyVar::fresh();
+        assert!(!mu_contained(&Delta::new(), &Mu::Var(a), &Effect::new()));
+    }
+
+    #[test]
+    fn arrow_requires_latent_handle_and_place() {
+        let r = RegVar::fresh();
+        let r2 = RegVar::fresh();
+        let e = EffVar::fresh();
+        let m = Mu::arrow(
+            Mu::Int,
+            ArrowEff::new(e, effect([Atom::Reg(r2)])),
+            Mu::Int,
+            r,
+        );
+        let full = effect([Atom::Reg(r), Atom::Reg(r2), Atom::Eff(e)]);
+        assert!(mu_contained(&Delta::new(), &m, &full));
+        // Missing any component fails.
+        for drop in full.iter() {
+            let mut phi = full.clone();
+            phi.remove(drop);
+            assert!(!mu_contained(&Delta::new(), &m, &phi), "dropped {drop}");
+        }
+    }
+
+    #[test]
+    fn containment_implies_frev_subset_prop2() {
+        // Proposition 2: Ω ⊢ µ : φ implies frev(µ) ⊆ φ.
+        let r = RegVar::fresh();
+        let e = EffVar::fresh();
+        let m = Mu::arrow(Mu::Int, ArrowEff::new(e, Effect::new()), Mu::Int, r);
+        let phi = effect([Atom::Reg(r), Atom::Eff(e)]);
+        assert!(mu_contained(&Delta::new(), &m, &phi));
+        let mut fr = Effect::new();
+        m.frev(&mut fr);
+        assert!(fr.is_subset(&phi));
+    }
+
+    #[test]
+    fn effect_extensibility() {
+        // If Ω ⊢ µ : φ and φ ⊆ φ' then Ω ⊢ µ : φ'.
+        let r = RegVar::fresh();
+        let m = Mu::string(r);
+        let phi = effect([Atom::Reg(r)]);
+        let mut phi2 = phi.clone();
+        phi2.insert(Atom::Reg(RegVar::fresh()));
+        assert!(mu_contained(&Delta::new(), &m, &phi));
+        assert!(mu_contained(&Delta::new(), &m, &phi2));
+    }
+
+    #[test]
+    fn scheme_containment_discharges_bound_vars() {
+        // (∀ρ'ε. (int --ε.{ρ'}--> int), ρ) : {ρ} holds: bound variables
+        // are not required in φ.
+        let rho = RegVar::fresh();
+        let rho2 = RegVar::fresh();
+        let eps = EffVar::fresh();
+        let s = Scheme {
+            rvars: vec![rho2],
+            evars: vec![eps],
+            delta: vec![],
+            body: BoxTy::Arrow(
+                Mu::Int,
+                ArrowEff::new(eps, effect([Atom::Reg(rho2)])),
+                Mu::Int,
+            ),
+        };
+        let pi = Pi::Scheme(s, rho);
+        assert!(pi_contained(&Delta::new(), &pi, &effect([Atom::Reg(rho)])));
+        assert!(!pi_contained(&Delta::new(), &pi, &Effect::new()));
+    }
+
+    #[test]
+    fn scheme_containment_requires_free_vars() {
+        // A free region in the body must be in φ.
+        let rho = RegVar::fresh();
+        let free = RegVar::fresh();
+        let eps = EffVar::fresh();
+        let s = Scheme {
+            rvars: vec![],
+            evars: vec![eps],
+            delta: vec![],
+            body: BoxTy::Arrow(
+                Mu::Int,
+                ArrowEff::new(eps, effect([Atom::Reg(free)])),
+                Mu::Int,
+            ),
+        };
+        let pi = Pi::Scheme(s, rho);
+        assert!(!pi_contained(&Delta::new(), &pi, &effect([Atom::Reg(rho)])));
+        assert!(pi_contained(
+            &Delta::new(),
+            &pi,
+            &effect([Atom::Reg(rho), Atom::Reg(free)])
+        ));
+    }
+}

@@ -1,0 +1,422 @@
+//! Value containment `φ |= v` / `φ |=ᵥ e` (Figure 3), context containment
+//! `φ |=c e` (Figure 7), and the GC-safety relation `G` (paper
+//! Section 3.7).
+//!
+//! `G(Ω, Γ, e, X, π)` strengthens the typing rules for functions so that no
+//! dangling pointers arise during evaluation:
+//!
+//! ```text
+//! G(Ω, Γ, e, X, π)  =  frv(π) |=ᵥ e
+//!                   ∧  ∀y ∈ fpv(e) \ X.  Ω ⊢ Γ(y) : frev(π)
+//! ```
+//!
+//! The second conjunct is where the paper departs from prior work: through
+//! the containment rule for type variables (`Ω ⊢ α : φ ⇔ frev(Ω(α)) ⊆ φ`),
+//! a captured variable whose type mentions a quantified type variable
+//! forces that variable's arrow effect into the function's type — which
+//! instantiation (substitution coverage) later refuses to forget.
+
+use crate::containment::pi_contained_with;
+use crate::terms::{Term, Value};
+use crate::types::{Delta, Pi};
+use crate::typing::TypeEnv;
+use crate::vars::{Effect, RegVar};
+use rml_syntax::Symbol;
+use std::collections::BTreeSet;
+
+/// A set of regions (the `φ` of Figures 3 and 7 ranges over regions only).
+pub type Regions = BTreeSet<RegVar>;
+
+/// Checks `φ |= v` (Figure 3, values).
+pub fn value_contained(phi: &Regions, v: &Value) -> bool {
+    match v {
+        Value::Int(_) | Value::Bool(_) | Value::Unit | Value::NilV(_) => true,
+        Value::Str(_, r) | Value::RefLoc(_, r) => phi.contains(r),
+        Value::Pair(a, b, r) | Value::Cons(a, b, r) => {
+            phi.contains(r) && value_contained(phi, a) && value_contained(phi, b)
+        }
+        Value::Clos { body, at, .. } => phi.contains(at) && expr_contained(phi, body),
+        Value::FixClos { defs, ats, .. } => {
+            ats.iter().all(|r| phi.contains(r))
+                && defs.iter().all(|d| {
+                    expr_contained(phi, &d.body)
+                        && d.scheme.rvars.iter().all(|r| !phi.contains(r))
+                })
+        }
+        Value::ExnVal { arg, at, .. } => {
+            phi.contains(at)
+                && arg
+                    .as_ref()
+                    .map(|a| value_contained(phi, a))
+                    .unwrap_or(true)
+        }
+    }
+}
+
+/// Checks `φ |=ᵥ e` (Figure 3, expressions): every value occurring in `e`
+/// is contained in `φ`, and `letregion`/`fun`-bound regions are disjoint
+/// from `φ`.
+pub fn expr_contained(phi: &Regions, e: &Term) -> bool {
+    match e {
+        Term::Var(_)
+        | Term::Unit
+        | Term::Int(_)
+        | Term::Bool(_)
+        | Term::Str(..)
+        | Term::Nil(_) => true,
+        Term::Val(v) => value_contained(phi, v),
+        Term::Lam { body, .. } => expr_contained(phi, body),
+        Term::Fix { defs, .. } => defs.iter().all(|d| {
+            d.scheme.rvars.iter().all(|r| !phi.contains(r)) && expr_contained(phi, &d.body)
+        }),
+        Term::App(a, b) | Term::Assign(a, b) => expr_contained(phi, a) && expr_contained(phi, b),
+        Term::RApp { f, .. } => expr_contained(phi, f),
+        Term::Let { rhs, body, .. } => expr_contained(phi, rhs) && expr_contained(phi, body),
+        Term::Letregion { rvars, body, .. } => {
+            rvars.iter().all(|r| !phi.contains(r)) && expr_contained(phi, body)
+        }
+        Term::Pair(a, b, _) | Term::Cons(a, b, _) => {
+            expr_contained(phi, a) && expr_contained(phi, b)
+        }
+        Term::Sel(_, e) | Term::RefNew(e, _) | Term::Deref(e) | Term::Raise(e, _) => {
+            expr_contained(phi, e)
+        }
+        Term::If(a, b, c) => {
+            expr_contained(phi, a) && expr_contained(phi, b) && expr_contained(phi, c)
+        }
+        Term::Prim(_, args, _) => args.iter().all(|a| expr_contained(phi, a)),
+        Term::CaseList {
+            scrut,
+            nil_rhs,
+            cons_rhs,
+            ..
+        } => {
+            expr_contained(phi, scrut)
+                && expr_contained(phi, nil_rhs)
+                && expr_contained(phi, cons_rhs)
+        }
+        Term::Exn { arg, .. } => arg.as_ref().map(|a| expr_contained(phi, a)).unwrap_or(true),
+        Term::Handle { body, handler, .. } => {
+            expr_contained(phi, body) && expr_contained(phi, handler)
+        }
+    }
+}
+
+/// Checks context containment `φ |=c e` (Figure 7): values in the
+/// evaluation-context spine must be contained in `φ` *extended with the
+/// regions of the enclosing `letregion`s*, values elsewhere in `φ` itself.
+pub fn context_contained(phi: &Regions, e: &Term) -> bool {
+    match e {
+        Term::Var(_) => true,
+        Term::Val(v) => value_contained(phi, v),
+        Term::Letregion { rvars, body, .. } => {
+            let mut phi2 = phi.clone();
+            for r in rvars {
+                if phi.contains(r) {
+                    return false;
+                }
+                phi2.insert(*r);
+            }
+            context_contained(&phi2, body)
+        }
+        Term::Let { rhs, body, .. } => context_contained(phi, rhs) && expr_contained(phi, body),
+        Term::App(a, b) | Term::Assign(a, b) => spine2(phi, a, b),
+        Term::Pair(a, b, _) | Term::Cons(a, b, _) => spine2(phi, a, b),
+        Term::RApp { f, .. } => context_contained(phi, f),
+        Term::Sel(_, e) | Term::RefNew(e, _) | Term::Deref(e) | Term::Raise(e, _) => {
+            context_contained(phi, e)
+        }
+        Term::If(c, t, f) => {
+            context_contained(phi, c) && expr_contained(phi, t) && expr_contained(phi, f)
+        }
+        Term::Prim(_, args, _) => {
+            // Left-to-right evaluation: leading values, one context
+            // position, remaining expressions.
+            let mut ctx_seen = false;
+            for a in args {
+                if !ctx_seen {
+                    if let Term::Val(v) = a {
+                        if !value_contained(phi, v) {
+                            return false;
+                        }
+                        continue;
+                    }
+                    ctx_seen = true;
+                    if !context_contained(phi, a) {
+                        return false;
+                    }
+                } else if !expr_contained(phi, a) {
+                    return false;
+                }
+            }
+            true
+        }
+        Term::CaseList {
+            scrut,
+            nil_rhs,
+            cons_rhs,
+            ..
+        } => {
+            context_contained(phi, scrut)
+                && expr_contained(phi, nil_rhs)
+                && expr_contained(phi, cons_rhs)
+        }
+        Term::Exn { arg, .. } => arg
+            .as_ref()
+            .map(|a| context_contained(phi, a))
+            .unwrap_or(true),
+        Term::Handle { body, handler, .. } => {
+            context_contained(phi, body) && expr_contained(phi, handler)
+        }
+        // Values-to-be (allocation instructions) and the rest: all values
+        // inside must be contained in φ.
+        other => expr_contained(phi, other),
+    }
+}
+
+fn spine2(phi: &Regions, a: &Term, b: &Term) -> bool {
+    if let Term::Val(v) = a {
+        value_contained(phi, v) && context_contained(phi, b)
+    } else {
+        context_contained(phi, a) && expr_contained(phi, b)
+    }
+}
+
+/// Checks the GC-safety relation `G(Ω, Γ, e, X, π)`.
+///
+/// # Errors
+///
+/// Reports which conjunct failed and, for the second conjunct, which
+/// captured variable's type is not contained in `frev(π)`.
+pub fn check_g(
+    omega: &Delta,
+    gamma: &TypeEnv,
+    e: &Term,
+    xs: &[Symbol],
+    pi: &Pi,
+) -> Result<(), String> {
+    check_g_with(omega, gamma, e, xs, pi, false)
+}
+
+/// As [`check_g`], optionally with the pre-paper treatment of type
+/// variables (vacuously contained), which reproduces the check of
+/// \[13\]/\[45, p. 50\] that the paper shows insufficient.
+pub fn check_g_with(
+    omega: &Delta,
+    gamma: &TypeEnv,
+    e: &Term,
+    xs: &[Symbol],
+    pi: &Pi,
+    vacuous_tyvars: bool,
+) -> Result<(), String> {
+    let frv: Regions = pi.frv().into_iter().collect();
+    if !expr_contained(&frv, e) {
+        return Err("G: body values not contained in frv(π)".into());
+    }
+    let mut frev = Effect::new();
+    pi.frev(&mut frev);
+    for y in e.fpv() {
+        if xs.contains(&y) {
+            continue;
+        }
+        let Some(py) = gamma.lookup(y) else {
+            return Err(format!("G: free variable `{y}` not in Γ"));
+        };
+        if !pi_contained_with(omega, py, &frev, vacuous_tyvars) {
+            return Err(format!(
+                "G: captured variable `{y}` has a type not contained in frev(π) — \
+                 its regions could dangle (this is the paper's soundness condition)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Mu;
+    use crate::vars::ArrowEff;
+
+    fn regions<const N: usize>(rs: [RegVar; N]) -> Regions {
+        rs.into_iter().collect()
+    }
+
+    #[test]
+    fn literals_always_contained() {
+        assert!(value_contained(&Regions::new(), &Value::Int(3)));
+        assert!(value_contained(&Regions::new(), &Value::NilV(crate::types::Mu::list(crate::types::Mu::Int, RegVar::fresh()))));
+    }
+
+    #[test]
+    fn boxed_values_need_their_region() {
+        let r = RegVar::fresh();
+        let v = Value::Str("x".into(), r);
+        assert!(!value_contained(&Regions::new(), &v));
+        assert!(value_contained(&regions([r]), &v));
+    }
+
+    #[test]
+    fn pair_containment_is_deep() {
+        let r1 = RegVar::fresh();
+        let r2 = RegVar::fresh();
+        let v = Value::Pair(
+            Box::new(Value::Str("a".into(), r2)),
+            Box::new(Value::Int(1)),
+            r1,
+        );
+        assert!(!value_contained(&regions([r1]), &v));
+        assert!(value_contained(&regions([r1, r2]), &v));
+    }
+
+    #[test]
+    fn letregion_bound_region_must_be_fresh() {
+        let r = RegVar::fresh();
+        let e = Term::letregion(vec![r], vec![], Term::Int(1));
+        assert!(expr_contained(&Regions::new(), &e));
+        assert!(!expr_contained(&regions([r]), &e));
+    }
+
+    #[test]
+    fn closure_with_dangling_capture_detected() {
+        // A closure at ρ1 whose body contains a value in ρ — with φ = {ρ1}
+        // only, containment fails: the classic dangling pointer.
+        let r1 = RegVar::fresh();
+        let r = RegVar::fresh();
+        let v = Value::Clos {
+            param: Symbol::intern("u"),
+            ann: Mu::arrow(Mu::Unit, ArrowEff::fresh_empty(), Mu::string(r), r1),
+            body: Box::new(Term::Val(Value::Str("ohno".into(), r))),
+            at: r1,
+        };
+        assert!(!value_contained(&regions([r1]), &v));
+        assert!(value_contained(&regions([r1, r]), &v));
+    }
+
+    #[test]
+    fn containment_extensibility() {
+        // φ |=v e and φ ⊆ φ' imply φ' |=v e (for letregion-free e).
+        let r = RegVar::fresh();
+        let e = Term::Val(Value::Str("a".into(), r));
+        let phi = regions([r]);
+        let mut phi2 = phi.clone();
+        phi2.insert(RegVar::fresh());
+        assert!(expr_contained(&phi, &e));
+        assert!(expr_contained(&phi2, &e));
+    }
+
+    #[test]
+    fn containment_closed_under_value_substitution() {
+        // φ |=v e and φ |= v imply φ |=v e[v/x].
+        let r = RegVar::fresh();
+        let x = Symbol::intern("x");
+        let e = Term::Pair(Box::new(Term::Var(x)), Box::new(Term::Int(1)), r);
+        let v = Value::Str("s".into(), r);
+        let phi = regions([r]);
+        assert!(expr_contained(&phi, &e));
+        assert!(value_contained(&phi, &v));
+        assert!(expr_contained(&phi, &e.subst_value(x, &v)));
+    }
+
+    #[test]
+    fn context_containment_extends_under_letregion() {
+        // letregion ρ in ⟨v⟩ρ is context-contained in ∅ (the context rule
+        // adds ρ), but not value-contained.
+        let r = RegVar::fresh();
+        let e = Term::letregion(vec![r], vec![], Term::Val(Value::Str("a".into(), r)));
+        assert!(context_contained(&Regions::new(), &e));
+        assert!(!expr_contained(&Regions::new(), &e));
+    }
+
+    #[test]
+    fn context_containment_spine_rules() {
+        // (v, e): v must be contained in φ, e in context position.
+        let r = RegVar::fresh();
+        let inner = RegVar::fresh();
+        let v = Value::Str("a".into(), r);
+        let e = Term::Pair(
+            Box::new(Term::Val(v)),
+            Box::new(Term::letregion(
+                vec![inner],
+                vec![],
+                Term::Val(Value::Str("b".into(), inner)),
+            )),
+            r,
+        );
+        assert!(context_contained(&regions([r]), &e));
+        assert!(!context_contained(&Regions::new(), &e));
+    }
+
+    #[test]
+    fn g_rejects_uncovered_capture() {
+        // Γ(y) = (string, ρ), π mentions only ρ1: G must fail.
+        let r1 = RegVar::fresh();
+        let r = RegVar::fresh();
+        let y = Symbol::intern("y");
+        let pi = Pi::Mu(Mu::arrow(Mu::Unit, ArrowEff::fresh_empty(), Mu::Unit, r1));
+        let mut gamma = TypeEnv::default();
+        gamma.insert(y, Pi::Mu(Mu::string(r)));
+        let body = Term::Var(y);
+        let err = check_g(&Delta::new(), &gamma, &body, &[], &pi).unwrap_err();
+        assert!(err.contains("captured variable"), "{err}");
+    }
+
+    #[test]
+    fn g_accepts_covered_capture() {
+        // Same, but π's latent effect mentions ρ: G holds.
+        let r1 = RegVar::fresh();
+        let r = RegVar::fresh();
+        let y = Symbol::intern("y");
+        let eps = crate::vars::EffVar::fresh();
+        let pi = Pi::Mu(Mu::arrow(
+            Mu::Unit,
+            ArrowEff::new(eps, crate::vars::effect([crate::vars::Atom::Reg(r)])),
+            Mu::Unit,
+            r1,
+        ));
+        let mut gamma = TypeEnv::default();
+        gamma.insert(y, Pi::Mu(Mu::string(r)));
+        let body = Term::Var(y);
+        check_g(&Delta::new(), &gamma, &body, &[], &pi).unwrap();
+    }
+
+    #[test]
+    fn g_tyvar_capture_needs_omega_effect_in_pi() {
+        // Γ(y) = α with Ω(α) = ε_α.∅: G holds only if ε_α ∈ frev(π).
+        let r1 = RegVar::fresh();
+        let a = crate::vars::TyVar::fresh();
+        let e_a = crate::vars::EffVar::fresh();
+        let y = Symbol::intern("y");
+        let mut omega = Delta::new();
+        omega.insert(a, ArrowEff::new(e_a, Effect::new()));
+        let mut gamma = TypeEnv::default();
+        gamma.insert(y, Pi::Mu(Mu::Var(a)));
+        let body = Term::Var(y);
+        let eps = crate::vars::EffVar::fresh();
+        // Without ε_α in the arrow effect: fail.
+        let pi_bad = Pi::Mu(Mu::arrow(
+            Mu::Unit,
+            ArrowEff::new(eps, Effect::new()),
+            Mu::Unit,
+            r1,
+        ));
+        assert!(check_g(&omega, &gamma, &body, &[], &pi_bad).is_err());
+        // With it: succeed.
+        let pi_good = Pi::Mu(Mu::arrow(
+            Mu::Unit,
+            ArrowEff::new(eps, crate::vars::effect([crate::vars::Atom::Eff(e_a)])),
+            Mu::Unit,
+            r1,
+        ));
+        check_g(&omega, &gamma, &body, &[], &pi_good).unwrap();
+    }
+
+    #[test]
+    fn g_ignores_parameters() {
+        let r1 = RegVar::fresh();
+        let x = Symbol::intern("x");
+        let pi = Pi::Mu(Mu::arrow(Mu::Unit, ArrowEff::fresh_empty(), Mu::Unit, r1));
+        let body = Term::Var(x);
+        check_g(&Delta::new(), &TypeEnv::default(), &body, &[x], &pi).unwrap();
+    }
+}

@@ -1,0 +1,837 @@
+//! The region-annotated term language (paper Section 3.6), extended with
+//! the ML features of the source language.
+//!
+//! Terms carry the annotations region inference produces: allocation
+//! directives `at ρ`, `letregion`-bound region and effect variables, full
+//! type annotations on lambdas and recursive functions, and explicit
+//! instantiation substitutions at region applications. Expressions may
+//! contain [`Value`]s: during evaluation, variables are substituted with
+//! values (the small-step semantics of Figure 6 is substitution-based).
+
+use crate::subst::Subst;
+use crate::types::{Mu, Scheme};
+use crate::vars::{EffVar, RegVar};
+use rml_syntax::ast::PrimOp;
+use rml_syntax::Symbol;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// A region-annotated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Variable occurrence.
+    Var(Symbol),
+    /// `()` (unboxed).
+    Unit,
+    /// Integer (unboxed).
+    Int(i64),
+    /// Boolean (unboxed).
+    Bool(bool),
+    /// String literal, allocated `at ρ`.
+    Str(String, RegVar),
+    /// An already-evaluated value (appears during evaluation).
+    Val(Value),
+    /// `λx.e at ρ`, annotated with its full type-and-place `µ`.
+    Lam {
+        /// Parameter.
+        param: Symbol,
+        /// The function's type-and-place (an arrow at `at`).
+        ann: Mu,
+        /// Body.
+        body: Box<Term>,
+        /// Allocation region.
+        at: RegVar,
+    },
+    /// Application `e1 e2`.
+    App(Box<Term>, Box<Term>),
+    /// `fun f [ρ⃗ε⃗∆] x = e at ρ` — one member of a group of (mutually
+    /// recursive) region- and effect-polymorphic functions. A single
+    /// function is a group of one. All group names are bound in all
+    /// bodies; the expression denotes member `index`, allocated at
+    /// `ats[index]`.
+    Fix {
+        /// The group's definitions (shared).
+        defs: Rc<Vec<FixDef>>,
+        /// Allocation region of each member.
+        ats: Rc<Vec<RegVar>>,
+        /// Which member this expression denotes.
+        index: usize,
+    },
+    /// Region application `e [S] at ρ`: instantiates the scheme of `e`
+    /// via the explicit substitution `S` and stores the specialised
+    /// closure at `ρ`.
+    RApp {
+        /// The region-polymorphic function.
+        f: Box<Term>,
+        /// Instantiating substitution (domain = the scheme's bound vars).
+        inst: Subst,
+        /// Allocation region for the specialised closure.
+        at: RegVar,
+    },
+    /// `let x = e1 in e2`.
+    Let {
+        /// Bound variable.
+        x: Symbol,
+        /// Right-hand side.
+        rhs: Box<Term>,
+        /// Body.
+        body: Box<Term>,
+    },
+    /// `letregion ρ⃗ (and secondary ε⃗) in e`.
+    Letregion {
+        /// Bound region variables.
+        rvars: Vec<RegVar>,
+        /// Discharged secondary effect variables.
+        evars: Vec<EffVar>,
+        /// Body.
+        body: Box<Term>,
+    },
+    /// `(e1, e2) at ρ`.
+    Pair(Box<Term>, Box<Term>, RegVar),
+    /// Projection `#i e`.
+    Sel(u8, Box<Term>),
+    /// Conditional.
+    If(Box<Term>, Box<Term>, Box<Term>),
+    /// Primitive application; allocating primitives carry a result region.
+    Prim(PrimOp, Vec<Term>, Option<RegVar>),
+    /// `nil` (unboxed), annotated with its list type.
+    Nil(Mu),
+    /// `e1 :: e2 at ρ`.
+    Cons(Box<Term>, Box<Term>, RegVar),
+    /// List case.
+    CaseList {
+        /// Scrutinee.
+        scrut: Box<Term>,
+        /// `nil` branch.
+        nil_rhs: Box<Term>,
+        /// Head binder.
+        head: Symbol,
+        /// Tail binder.
+        tail: Symbol,
+        /// Cons branch.
+        cons_rhs: Box<Term>,
+    },
+    /// `ref e at ρ`.
+    RefNew(Box<Term>, RegVar),
+    /// `!e`.
+    Deref(Box<Term>),
+    /// `e1 := e2`.
+    Assign(Box<Term>, Box<Term>),
+    /// Exception-value construction `E e at ρ`.
+    Exn {
+        /// Constructor name.
+        name: Symbol,
+        /// Argument, if any.
+        arg: Option<Box<Term>>,
+        /// Allocation region.
+        at: RegVar,
+    },
+    /// `raise e`, annotated with the (arbitrary) result type.
+    Raise(Box<Term>, Mu),
+    /// `e handle E x => e'`.
+    Handle {
+        /// Protected expression.
+        body: Box<Term>,
+        /// Caught constructor.
+        exn: Symbol,
+        /// Argument binder.
+        arg: Symbol,
+        /// Handler.
+        handler: Box<Term>,
+    },
+}
+
+/// One function of a (possibly mutually recursive) `fun` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixDef {
+    /// Function name (bound in every body of the group).
+    pub f: Symbol,
+    /// The function's type scheme `∀ρ⃗ε⃗∆. µ1 --ε.φ--> µ2`.
+    pub scheme: Scheme,
+    /// Parameter.
+    pub param: Symbol,
+    /// Body.
+    pub body: Term,
+}
+
+/// A value (paper Section 3.6). All values except integers, booleans,
+/// `()` and `nil` are boxed and carry their region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unboxed integer.
+    Int(i64),
+    /// Unboxed boolean.
+    Bool(bool),
+    /// Unboxed unit.
+    Unit,
+    /// Unboxed empty list, annotated with its list type.
+    NilV(Mu),
+    /// Boxed string `⟨s⟩ρ`.
+    Str(String, RegVar),
+    /// Boxed pair `⟨v1, v2⟩ρ`.
+    Pair(Box<Value>, Box<Value>, RegVar),
+    /// Boxed cons cell.
+    Cons(Box<Value>, Box<Value>, RegVar),
+    /// Ordinary closure `⟨λx.e⟩ρ`.
+    Clos {
+        /// Parameter.
+        param: Symbol,
+        /// Annotated type.
+        ann: Mu,
+        /// Body.
+        body: Box<Term>,
+        /// Region.
+        at: RegVar,
+    },
+    /// Region-polymorphic closure `⟨fun f [ρ⃗ε⃗∆] x = e⟩ρ` — member
+    /// `index` of a group.
+    FixClos {
+        /// The group's definitions (shared).
+        defs: Rc<Vec<FixDef>>,
+        /// Allocation region of each member.
+        ats: Rc<Vec<RegVar>>,
+        /// Which member this closure is.
+        index: usize,
+    },
+    /// Reference cell: an index into the store, tagged with its region.
+    RefLoc(usize, RegVar),
+    /// Boxed exception value.
+    ExnVal {
+        /// Constructor name.
+        name: Symbol,
+        /// Generative tag (distinguishes re-evaluated declarations).
+        tag: u32,
+        /// Argument value.
+        arg: Option<Box<Value>>,
+        /// Region.
+        at: RegVar,
+    },
+}
+
+impl Term {
+    /// Convenience: variable.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::intern(name))
+    }
+
+    /// Convenience: lambda with annotation.
+    pub fn lam(param: &str, ann: Mu, body: Term, at: RegVar) -> Term {
+        Term::Lam {
+            param: Symbol::intern(param),
+            ann,
+            body: Box::new(body),
+            at,
+        }
+    }
+
+    /// Convenience: application.
+    pub fn app(f: Term, a: Term) -> Term {
+        Term::App(Box::new(f), Box::new(a))
+    }
+
+    /// Convenience: `let`.
+    pub fn let_(x: &str, rhs: Term, body: Term) -> Term {
+        Term::Let {
+            x: Symbol::intern(x),
+            rhs: Box::new(rhs),
+            body: Box::new(body),
+        }
+    }
+
+    /// Convenience: `letregion`.
+    pub fn letregion(rvars: Vec<RegVar>, evars: Vec<EffVar>, body: Term) -> Term {
+        Term::Letregion {
+            rvars,
+            evars,
+            body: Box::new(body),
+        }
+    }
+
+    /// Free program variables `fpv(e)`, inserted into `out`; `bound` is the
+    /// set of binders in scope.
+    pub fn fpv_into(&self, bound: &mut Vec<Symbol>, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Term::Var(x) => {
+                if !bound.contains(x) {
+                    out.insert(*x);
+                }
+            }
+            Term::Unit | Term::Int(_) | Term::Bool(_) | Term::Str(..) | Term::Nil(_) => {}
+            Term::Val(v) => v.fpv_into(bound, out),
+            Term::Lam { param, body, .. } => {
+                bound.push(*param);
+                body.fpv_into(bound, out);
+                bound.pop();
+            }
+            Term::Fix { defs, .. } => {
+                for d in defs.iter() {
+                    bound.push(d.f);
+                }
+                for d in defs.iter() {
+                    bound.push(d.param);
+                    d.body.fpv_into(bound, out);
+                    bound.pop();
+                }
+                for _ in defs.iter() {
+                    bound.pop();
+                }
+            }
+            Term::App(a, b) | Term::Assign(a, b) => {
+                a.fpv_into(bound, out);
+                b.fpv_into(bound, out);
+            }
+            Term::Pair(a, b, _) | Term::Cons(a, b, _) => {
+                a.fpv_into(bound, out);
+                b.fpv_into(bound, out);
+            }
+            Term::RApp { f, .. } => f.fpv_into(bound, out),
+            Term::Let { x, rhs, body } => {
+                rhs.fpv_into(bound, out);
+                bound.push(*x);
+                body.fpv_into(bound, out);
+                bound.pop();
+            }
+            Term::Letregion { body, .. } => body.fpv_into(bound, out),
+            Term::Sel(_, e) | Term::RefNew(e, _) | Term::Deref(e) | Term::Raise(e, _) => {
+                e.fpv_into(bound, out)
+            }
+            Term::If(a, b, c) => {
+                a.fpv_into(bound, out);
+                b.fpv_into(bound, out);
+                c.fpv_into(bound, out);
+            }
+            Term::Prim(_, args, _) => {
+                for a in args {
+                    a.fpv_into(bound, out);
+                }
+            }
+            Term::CaseList {
+                scrut,
+                nil_rhs,
+                head,
+                tail,
+                cons_rhs,
+            } => {
+                scrut.fpv_into(bound, out);
+                nil_rhs.fpv_into(bound, out);
+                bound.push(*head);
+                bound.push(*tail);
+                cons_rhs.fpv_into(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            Term::Exn { arg, .. } => {
+                if let Some(a) = arg {
+                    a.fpv_into(bound, out);
+                }
+            }
+            Term::Handle {
+                body,
+                arg,
+                handler,
+                ..
+            } => {
+                body.fpv_into(bound, out);
+                bound.push(*arg);
+                handler.fpv_into(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Free program variables `fpv(e)`.
+    pub fn fpv(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.fpv_into(&mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Capture-free substitution of a (closed) value for a variable:
+    /// `e[v/x]`.
+    pub fn subst_value(&self, x: Symbol, v: &Value) -> Term {
+        let sub = |e: &Term| Box::new(e.subst_value(x, v));
+        match self {
+            Term::Var(y) => {
+                if *y == x {
+                    Term::Val(v.clone())
+                } else {
+                    self.clone()
+                }
+            }
+            Term::Unit | Term::Int(_) | Term::Bool(_) | Term::Str(..) | Term::Nil(_) | Term::Val(_) => {
+                self.clone()
+            }
+            Term::Lam {
+                param,
+                ann,
+                body,
+                at,
+            } => {
+                if *param == x {
+                    self.clone()
+                } else {
+                    Term::Lam {
+                        param: *param,
+                        ann: ann.clone(),
+                        body: sub(body),
+                        at: *at,
+                    }
+                }
+            }
+            Term::Fix { defs, ats, index } => {
+                if defs.iter().any(|d| d.f == x) {
+                    self.clone()
+                } else {
+                    let defs2: Vec<FixDef> = defs
+                        .iter()
+                        .map(|d| {
+                            if d.param == x {
+                                d.clone()
+                            } else {
+                                FixDef {
+                                    f: d.f,
+                                    scheme: d.scheme.clone(),
+                                    param: d.param,
+                                    body: d.body.subst_value(x, v),
+                                }
+                            }
+                        })
+                        .collect();
+                    Term::Fix {
+                        defs: Rc::new(defs2),
+                        ats: ats.clone(),
+                        index: *index,
+                    }
+                }
+            }
+            Term::App(a, b) => Term::App(sub(a), sub(b)),
+            Term::RApp { f, inst, at } => Term::RApp {
+                f: sub(f),
+                inst: inst.clone(),
+                at: *at,
+            },
+            Term::Let { x: y, rhs, body } => Term::Let {
+                x: *y,
+                rhs: sub(rhs),
+                body: if *y == x { body.clone() } else { sub(body) },
+            },
+            Term::Letregion { rvars, evars, body } => Term::Letregion {
+                rvars: rvars.clone(),
+                evars: evars.clone(),
+                body: sub(body),
+            },
+            Term::Pair(a, b, r) => Term::Pair(sub(a), sub(b), *r),
+            Term::Sel(i, e) => Term::Sel(*i, sub(e)),
+            Term::If(a, b, c) => Term::If(sub(a), sub(b), sub(c)),
+            Term::Prim(op, args, r) => Term::Prim(
+                *op,
+                args.iter().map(|a| a.subst_value(x, v)).collect(),
+                *r,
+            ),
+            Term::Cons(a, b, r) => Term::Cons(sub(a), sub(b), *r),
+            Term::CaseList {
+                scrut,
+                nil_rhs,
+                head,
+                tail,
+                cons_rhs,
+            } => Term::CaseList {
+                scrut: sub(scrut),
+                nil_rhs: sub(nil_rhs),
+                head: *head,
+                tail: *tail,
+                cons_rhs: if *head == x || *tail == x {
+                    cons_rhs.clone()
+                } else {
+                    sub(cons_rhs)
+                },
+            },
+            Term::RefNew(e, r) => Term::RefNew(sub(e), *r),
+            Term::Deref(e) => Term::Deref(sub(e)),
+            Term::Assign(a, b) => Term::Assign(sub(a), sub(b)),
+            Term::Exn { name, arg, at } => Term::Exn {
+                name: *name,
+                arg: arg.as_ref().map(|a| sub(a)),
+                at: *at,
+            },
+            Term::Raise(e, ann) => Term::Raise(sub(e), ann.clone()),
+            Term::Handle {
+                body,
+                exn,
+                arg,
+                handler,
+            } => Term::Handle {
+                body: sub(body),
+                exn: *exn,
+                arg: *arg,
+                handler: if *arg == x {
+                    handler.clone()
+                } else {
+                    sub(handler)
+                },
+            },
+        }
+    }
+
+    /// Applies a region/effect/type substitution to all annotations of the
+    /// term (the `e[ρ⃗'/ρ⃗]` of rule \[Rapp\]). Binders shadow: entries whose
+    /// domain variable is re-bound by `letregion` or a `Fix` scheme are
+    /// dropped for the subterm.
+    pub fn apply_subst(&self, s: &Subst) -> Term {
+        if s.ty.is_empty() && s.reg.is_empty() && s.eff.is_empty() {
+            return self.clone();
+        }
+        let go = |e: &Term| Box::new(e.apply_subst(s));
+        match self {
+            Term::Var(_) | Term::Unit | Term::Int(_) | Term::Bool(_) => self.clone(),
+            Term::Nil(mu) => Term::Nil(s.mu(mu)),
+            Term::Str(st, r) => Term::Str(st.clone(), s.reg_var(*r)),
+            Term::Val(v) => Term::Val(v.apply_subst(s)),
+            Term::Lam {
+                param,
+                ann,
+                body,
+                at,
+            } => Term::Lam {
+                param: *param,
+                ann: s.mu(ann),
+                body: go(body),
+                at: s.reg_var(*at),
+            },
+            Term::Fix { defs, ats, index } => {
+                let defs2: Vec<FixDef> = defs.iter().map(|d| apply_subst_def(d, s)).collect();
+                Term::Fix {
+                    defs: Rc::new(defs2),
+                    ats: Rc::new(ats.iter().map(|r| s.reg_var(*r)).collect()),
+                    index: *index,
+                }
+            }
+            Term::App(a, b) => Term::App(go(a), go(b)),
+            Term::RApp { f, inst, at } => {
+                // Map the *range* of the inner substitution; its domain is
+                // a binder reference into the instantiated scheme.
+                let mut inst2 = inst.clone();
+                inst2.reg = inst
+                    .reg
+                    .iter()
+                    .map(|(k, v)| (*k, s.reg_var(*v)))
+                    .collect();
+                inst2.eff = inst
+                    .eff
+                    .iter()
+                    .map(|(k, v)| (*k, s.arrow_eff(v)))
+                    .collect();
+                inst2.ty = inst.ty.iter().map(|(k, v)| (*k, s.mu(v))).collect();
+                Term::RApp {
+                    f: go(f),
+                    inst: inst2,
+                    at: s.reg_var(*at),
+                }
+            }
+            Term::Let { x, rhs, body } => Term::Let {
+                x: *x,
+                rhs: go(rhs),
+                body: go(body),
+            },
+            Term::Letregion { rvars, evars, body } => {
+                let mut s2 = s.clone();
+                for r in rvars {
+                    s2.reg.remove(r);
+                }
+                for e in evars {
+                    s2.eff.remove(e);
+                }
+                Term::Letregion {
+                    rvars: rvars.clone(),
+                    evars: evars.clone(),
+                    body: Box::new(body.apply_subst(&s2)),
+                }
+            }
+            Term::Pair(a, b, r) => Term::Pair(go(a), go(b), s.reg_var(*r)),
+            Term::Sel(i, e) => Term::Sel(*i, go(e)),
+            Term::If(a, b, c) => Term::If(go(a), go(b), go(c)),
+            Term::Prim(op, args, r) => Term::Prim(
+                *op,
+                args.iter().map(|a| a.apply_subst(s)).collect(),
+                r.map(|r| s.reg_var(r)),
+            ),
+            Term::Cons(a, b, r) => Term::Cons(go(a), go(b), s.reg_var(*r)),
+            Term::CaseList {
+                scrut,
+                nil_rhs,
+                head,
+                tail,
+                cons_rhs,
+            } => Term::CaseList {
+                scrut: go(scrut),
+                nil_rhs: go(nil_rhs),
+                head: *head,
+                tail: *tail,
+                cons_rhs: go(cons_rhs),
+            },
+            Term::RefNew(e, r) => Term::RefNew(go(e), s.reg_var(*r)),
+            Term::Deref(e) => Term::Deref(go(e)),
+            Term::Assign(a, b) => Term::Assign(go(a), go(b)),
+            Term::Exn { name, arg, at } => Term::Exn {
+                name: *name,
+                arg: arg.as_ref().map(|a| go(a)),
+                at: s.reg_var(*at),
+            },
+            Term::Raise(e, ann) => Term::Raise(go(e), s.mu(ann)),
+            Term::Handle {
+                body,
+                exn,
+                arg,
+                handler,
+            } => Term::Handle {
+                body: go(body),
+                exn: *exn,
+                arg: *arg,
+                handler: go(handler),
+            },
+        }
+    }
+}
+
+/// Applies a substitution to one group member, shadowing its scheme's
+/// bound variables. Inference produces globally unique bound variables, so
+/// the range of the restricted substitution cannot capture them.
+fn apply_subst_def(d: &FixDef, s: &Subst) -> FixDef {
+    let mut s2 = s.clone();
+    for r in &d.scheme.rvars {
+        s2.reg.remove(r);
+    }
+    for e in &d.scheme.evars {
+        s2.eff.remove(e);
+    }
+    for (a, _) in &d.scheme.delta {
+        s2.ty.remove(a);
+    }
+    FixDef {
+        f: d.f,
+        scheme: Scheme {
+            rvars: d.scheme.rvars.clone(),
+            evars: d.scheme.evars.clone(),
+            delta: d
+                .scheme
+                .delta
+                .iter()
+                .map(|(a, ae)| (*a, s2.arrow_eff(ae)))
+                .collect(),
+            body: s2.boxty(&d.scheme.body),
+        },
+        param: d.param,
+        body: d.body.apply_subst(&s2),
+    }
+}
+
+impl Value {
+    /// Free program variables of a value (well-typed values are closed —
+    /// Proposition 15).
+    pub fn fpv_into(&self, bound: &mut Vec<Symbol>, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Value::Int(_) | Value::Bool(_) | Value::Unit | Value::NilV(_) | Value::Str(..) => {}
+            Value::Pair(a, b, _) | Value::Cons(a, b, _) => {
+                a.fpv_into(bound, out);
+                b.fpv_into(bound, out);
+            }
+            Value::Clos { param, body, .. } => {
+                bound.push(*param);
+                body.fpv_into(bound, out);
+                bound.pop();
+            }
+            Value::FixClos { defs, .. } => {
+                for d in defs.iter() {
+                    bound.push(d.f);
+                }
+                for d in defs.iter() {
+                    bound.push(d.param);
+                    d.body.fpv_into(bound, out);
+                    bound.pop();
+                }
+                for _ in defs.iter() {
+                    bound.pop();
+                }
+            }
+            Value::RefLoc(..) => {}
+            Value::ExnVal { arg, .. } => {
+                if let Some(a) = arg {
+                    a.fpv_into(bound, out);
+                }
+            }
+        }
+    }
+
+    /// `true` if the value has no free program variables.
+    pub fn is_closed(&self) -> bool {
+        let mut out = BTreeSet::new();
+        self.fpv_into(&mut Vec::new(), &mut out);
+        out.is_empty()
+    }
+
+    /// Applies a substitution to the value's regions and annotations.
+    pub fn apply_subst(&self, s: &Subst) -> Value {
+        match self {
+            Value::Int(_) | Value::Bool(_) | Value::Unit => self.clone(),
+            Value::NilV(mu) => Value::NilV(s.mu(mu)),
+            Value::Str(st, r) => Value::Str(st.clone(), s.reg_var(*r)),
+            Value::Pair(a, b, r) => Value::Pair(
+                Box::new(a.apply_subst(s)),
+                Box::new(b.apply_subst(s)),
+                s.reg_var(*r),
+            ),
+            Value::Cons(a, b, r) => Value::Cons(
+                Box::new(a.apply_subst(s)),
+                Box::new(b.apply_subst(s)),
+                s.reg_var(*r),
+            ),
+            Value::Clos {
+                param,
+                ann,
+                body,
+                at,
+            } => Value::Clos {
+                param: *param,
+                ann: s.mu(ann),
+                body: Box::new(body.apply_subst(s)),
+                at: s.reg_var(*at),
+            },
+            Value::FixClos { defs, ats, index } => Value::FixClos {
+                defs: Rc::new(defs.iter().map(|d| apply_subst_def(d, s)).collect()),
+                ats: Rc::new(ats.iter().map(|r| s.reg_var(*r)).collect()),
+                index: *index,
+            },
+            Value::RefLoc(i, r) => Value::RefLoc(*i, s.reg_var(*r)),
+            Value::ExnVal { name, tag, arg, at } => Value::ExnVal {
+                name: *name,
+                tag: *tag,
+                arg: arg.as_ref().map(|a| Box::new(a.apply_subst(s))),
+                at: s.reg_var(*at),
+            },
+        }
+    }
+
+    /// The region the value lives in, if boxed.
+    pub fn place(&self) -> Option<RegVar> {
+        match self {
+            Value::Int(_) | Value::Bool(_) | Value::Unit | Value::NilV(_) => None,
+            Value::FixClos { ats, index, .. } => Some(ats[*index]),
+            Value::Str(_, r)
+            | Value::Pair(_, _, r)
+            | Value::Cons(_, _, r)
+            | Value::Clos { at: r, .. }
+            | Value::RefLoc(_, r)
+            | Value::ExnVal { at: r, .. } => Some(*r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::ArrowEff;
+
+    fn mu_int_arrow(rho: RegVar) -> Mu {
+        Mu::arrow(Mu::Int, ArrowEff::fresh_empty(), Mu::Int, rho)
+    }
+
+    #[test]
+    fn fpv_respects_binders() {
+        let rho = RegVar::fresh();
+        let e = Term::lam("x", mu_int_arrow(rho), Term::app(Term::var("f"), Term::var("x")), rho);
+        let fv = e.fpv();
+        assert!(fv.contains(&Symbol::intern("f")));
+        assert!(!fv.contains(&Symbol::intern("x")));
+    }
+
+    #[test]
+    fn subst_value_replaces_free_occurrences_only() {
+        let rho = RegVar::fresh();
+        let x = Symbol::intern("x");
+        // let x = x in x — the rhs x is free, the body x is bound.
+        let e = Term::Let {
+            x,
+            rhs: Box::new(Term::Var(x)),
+            body: Box::new(Term::Var(x)),
+        };
+        let out = e.subst_value(x, &Value::Int(7));
+        let Term::Let { rhs, body, .. } = out else {
+            panic!()
+        };
+        assert_eq!(*rhs, Term::Val(Value::Int(7)));
+        assert_eq!(*body, Term::Var(x));
+        let _ = rho;
+    }
+
+    #[test]
+    fn region_substitution_renames_annotations() {
+        let r1 = RegVar::fresh();
+        let r2 = RegVar::fresh();
+        let e = Term::Pair(Box::new(Term::Int(1)), Box::new(Term::Int(2)), r1);
+        let s = Subst::regions([(r1, r2)]);
+        assert_eq!(
+            e.apply_subst(&s),
+            Term::Pair(Box::new(Term::Int(1)), Box::new(Term::Int(2)), r2)
+        );
+    }
+
+    #[test]
+    fn letregion_shadows_substitution() {
+        let r1 = RegVar::fresh();
+        let r2 = RegVar::fresh();
+        let inner = Term::Str("s".into(), r1);
+        let e = Term::letregion(vec![r1], vec![], inner.clone());
+        let s = Subst::regions([(r1, r2)]);
+        // The bound r1 must not be renamed.
+        let Term::Letregion { body, .. } = e.apply_subst(&s) else {
+            panic!()
+        };
+        assert_eq!(*body, inner);
+    }
+
+    #[test]
+    fn values_report_their_place() {
+        let r = RegVar::fresh();
+        assert_eq!(Value::Str("a".into(), r).place(), Some(r));
+        assert_eq!(Value::Int(1).place(), None);
+        assert_eq!(Value::NilV(Mu::list(Mu::Int, r)).place(), None);
+    }
+
+    #[test]
+    fn closures_are_closed_when_fully_applied() {
+        let rho = RegVar::fresh();
+        let v = Value::Clos {
+            param: Symbol::intern("x"),
+            ann: mu_int_arrow(rho),
+            body: Box::new(Term::var("x")),
+            at: rho,
+        };
+        assert!(v.is_closed());
+        let open = Value::Clos {
+            param: Symbol::intern("x"),
+            ann: mu_int_arrow(rho),
+            body: Box::new(Term::var("y")),
+            at: rho,
+        };
+        assert!(!open.is_closed());
+    }
+
+    #[test]
+    fn rapp_substitution_maps_range_not_domain() {
+        let bound = RegVar::fresh(); // scheme-bound variable (domain)
+        let actual = RegVar::fresh();
+        let renamed = RegVar::fresh();
+        let inner = Subst::regions([(bound, actual)]);
+        let e = Term::RApp {
+            f: Box::new(Term::var("f")),
+            inst: inner,
+            at: actual,
+        };
+        let s = Subst::regions([(actual, renamed)]);
+        let Term::RApp { inst, at, .. } = e.apply_subst(&s) else {
+            panic!()
+        };
+        assert_eq!(inst.reg.get(&bound), Some(&renamed));
+        assert_eq!(at, renamed);
+    }
+}

@@ -1,0 +1,224 @@
+//! Region variables, effect variables, type variables, atomic effects,
+//! effects, and arrow effects (paper Section 3.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+macro_rules! var_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Allocates a globally fresh variable.
+            pub fn fresh() -> $name {
+                static NEXT: AtomicU32 = AtomicU32::new(0);
+                $name(NEXT.fetch_add(1, Ordering::Relaxed))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+var_type!(
+    /// A region variable `ρ`.
+    RegVar,
+    "r"
+);
+var_type!(
+    /// An effect variable `ε`.
+    EffVar,
+    "e"
+);
+var_type!(
+    /// A type variable `α`.
+    TyVar,
+    "a"
+);
+
+/// An atomic effect `η`: a region variable or an effect variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// A region variable.
+    Reg(RegVar),
+    /// An effect variable.
+    Eff(EffVar),
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Reg(r) => write!(f, "{r}"),
+            Atom::Eff(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<RegVar> for Atom {
+    fn from(r: RegVar) -> Atom {
+        Atom::Reg(r)
+    }
+}
+
+impl From<EffVar> for Atom {
+    fn from(e: EffVar) -> Atom {
+        Atom::Eff(e)
+    }
+}
+
+/// An effect `φ`: a finite set of atomic effects.
+pub type Effect = BTreeSet<Atom>;
+
+/// Builds an effect from atoms.
+///
+/// # Example
+///
+/// ```
+/// use rml_core::vars::{effect, Atom, RegVar};
+/// let r = RegVar::fresh();
+/// let phi = effect([Atom::Reg(r)]);
+/// assert!(phi.contains(&Atom::Reg(r)));
+/// ```
+pub fn effect<I: IntoIterator<Item = Atom>>(atoms: I) -> Effect {
+    atoms.into_iter().collect()
+}
+
+/// An arrow effect `ε.φ`: an effect variable (the *handle*) paired with a
+/// latent effect. Function types are annotated with arrow effects — not
+/// bare effects — so that effects can *grow* under effect substitution and
+/// so the unification-based inference algorithm has unifiers (paper
+/// Section 3.5).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrowEff {
+    /// The handle `ε`.
+    pub handle: EffVar,
+    /// The latent effect `φ`.
+    pub latent: Effect,
+}
+
+impl ArrowEff {
+    /// Creates `ε.φ`, in canonical form: the handle is removed from the
+    /// latent set. (`frev(ε.φ) = {ε} ∪ φ` regardless, so `ε ∈ φ` is
+    /// redundant; keeping arrow effects canonical makes structural type
+    /// equality coincide with semantic equality.)
+    pub fn new(handle: EffVar, mut latent: Effect) -> ArrowEff {
+        latent.remove(&Atom::Eff(handle));
+        ArrowEff { handle, latent }
+    }
+
+    /// Creates `ε.∅` with a fresh handle.
+    pub fn fresh_empty() -> ArrowEff {
+        ArrowEff::new(EffVar::fresh(), Effect::new())
+    }
+
+    /// The free region and effect variables `frev(ε.φ) = {ε} ∪ φ`.
+    pub fn frev(&self) -> Effect {
+        let mut s = self.latent.clone();
+        s.insert(Atom::Eff(self.handle));
+        s
+    }
+}
+
+impl fmt::Debug for ArrowEff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{{", self.handle)?;
+        for (i, a) in self.latent.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ArrowEff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Returns the region variables of an effect.
+pub fn regions_of(phi: &Effect) -> impl Iterator<Item = RegVar> + '_ {
+    phi.iter().filter_map(|a| match a {
+        Atom::Reg(r) => Some(*r),
+        Atom::Eff(_) => None,
+    })
+}
+
+/// Returns the effect variables of an effect.
+pub fn effvars_of(phi: &Effect) -> impl Iterator<Item = EffVar> + '_ {
+    phi.iter().filter_map(|a| match a {
+        Atom::Eff(e) => Some(*e),
+        Atom::Reg(_) => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        assert_ne!(RegVar::fresh(), RegVar::fresh());
+        assert_ne!(EffVar::fresh(), EffVar::fresh());
+        assert_ne!(TyVar::fresh(), TyVar::fresh());
+    }
+
+    #[test]
+    fn arrow_effect_frev() {
+        let e = EffVar::fresh();
+        let r = RegVar::fresh();
+        let ae = ArrowEff::new(e, effect([Atom::Reg(r)]));
+        let fr = ae.frev();
+        assert!(fr.contains(&Atom::Eff(e)));
+        assert!(fr.contains(&Atom::Reg(r)));
+        assert_eq!(fr.len(), 2);
+    }
+
+    #[test]
+    fn effect_partition() {
+        let r = RegVar::fresh();
+        let e = EffVar::fresh();
+        let phi = effect([Atom::Reg(r), Atom::Eff(e)]);
+        assert_eq!(regions_of(&phi).collect::<Vec<_>>(), vec![r]);
+        assert_eq!(effvars_of(&phi).collect::<Vec<_>>(), vec![e]);
+    }
+
+    #[test]
+    fn arrow_effects_are_canonical() {
+        // ε ∈ φ is redundant (frev includes the handle anyway); `new`
+        // normalises so structural equality is semantic equality.
+        let e = EffVar::fresh();
+        let r = RegVar::fresh();
+        let ae = ArrowEff::new(e, effect([Atom::Eff(e), Atom::Reg(r)]));
+        assert!(!ae.latent.contains(&Atom::Eff(e)));
+        assert_eq!(ae, ArrowEff::new(e, effect([Atom::Reg(r)])));
+        assert!(ae.frev().contains(&Atom::Eff(e)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let ae = ArrowEff::new(EffVar(3), effect([Atom::Reg(RegVar(1))]));
+        assert_eq!(format!("{ae}"), "e3.{r1}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests for the substitution and containment laws of
+//! Section 3 (Propositions 1–7), over randomly generated types, effects,
+//! and substitutions.
+
+use proptest::prelude::*;
+use rml_core::containment::{mu_contained, pi_contained};
+use rml_core::subst::freshen_scheme;
+use rml_core::types::{wf_mu, BoxTy, Delta, Mu, Pi, Scheme};
+use rml_core::vars::{Atom, ArrowEff, EffVar, Effect, RegVar, TyVar};
+use rml_core::Subst;
+
+/// A small universe of variables so substitutions actually hit. Offset
+/// far above the global fresh-variable counters so `freshen_scheme`'s
+/// fresh variables can never collide with it.
+const BASE: u32 = 1 << 30;
+const NR: u32 = 8;
+const NE: u32 = 8;
+const NA: u32 = 4;
+
+fn rvar() -> impl Strategy<Value = RegVar> {
+    (0..NR).prop_map(|i| RegVar(BASE + i))
+}
+
+fn evar() -> impl Strategy<Value = EffVar> {
+    (0..NE).prop_map(|i| EffVar(BASE + i))
+}
+
+fn tvar() -> impl Strategy<Value = TyVar> {
+    (0..NA).prop_map(|i| TyVar(BASE + i))
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![rvar().prop_map(Atom::Reg), evar().prop_map(Atom::Eff)]
+}
+
+fn effect() -> impl Strategy<Value = Effect> {
+    proptest::collection::btree_set(atom(), 0..5)
+}
+
+fn arrow_eff() -> impl Strategy<Value = ArrowEff> {
+    (evar(), effect()).prop_map(|(h, l)| ArrowEff::new(h, l))
+}
+
+fn mu() -> impl Strategy<Value = Mu> {
+    let leaf = prop_oneof![
+        Just(Mu::Int),
+        Just(Mu::Bool),
+        Just(Mu::Unit),
+        tvar().prop_map(Mu::Var),
+        rvar().prop_map(Mu::string),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), rvar())
+                .prop_map(|(a, b, r)| Mu::pair(a, b, r)),
+            (inner.clone(), arrow_eff(), inner.clone(), rvar())
+                .prop_map(|(a, ae, b, r)| Mu::arrow(a, ae, b, r)),
+            (inner.clone(), rvar()).prop_map(|(e, r)| Mu::list(e, r)),
+            (inner, rvar()).prop_map(|(e, r)| Mu::reference(e, r)),
+        ]
+    })
+}
+
+fn subst() -> impl Strategy<Value = Subst> {
+    (
+        proptest::collection::btree_map(tvar(), mu(), 0..3),
+        proptest::collection::btree_map(rvar(), rvar(), 0..4),
+        proptest::collection::btree_map(evar(), arrow_eff(), 0..4),
+    )
+        .prop_map(|(ty, reg, eff)| Subst { ty, reg, eff })
+}
+
+fn region_effect_subst() -> impl Strategy<Value = Subst> {
+    (
+        proptest::collection::btree_map(rvar(), rvar(), 0..4),
+        proptest::collection::btree_map(evar(), arrow_eff(), 0..4),
+    )
+        .prop_map(|(reg, eff)| Subst {
+            ty: Default::default(),
+            reg,
+            eff,
+        })
+}
+
+/// An Ω covering the whole tyvar universe.
+fn omega() -> impl Strategy<Value = Delta> {
+    proptest::collection::vec(arrow_eff(), NA as usize).prop_map(|aes| {
+        aes.into_iter()
+            .enumerate()
+            .map(|(i, ae)| (TyVar(BASE + i as u32), ae))
+            .collect()
+    })
+}
+
+/// The least effect containing `mu` under `omega` (so containment holds by
+/// construction).
+fn closing_effect(omega: &Delta, m: &Mu) -> Effect {
+    let mut phi = Effect::new();
+    m.frev(&mut phi);
+    let mut tvs = std::collections::BTreeSet::new();
+    m.ftv(&mut tvs);
+    for a in tvs {
+        if let Some(ae) = omega.get(&a) {
+            phi.extend(ae.frev());
+        }
+    }
+    phi
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Proposition 3: φ ⊆ φ' ⟹ S(φ) ⊆ S(φ').
+    #[test]
+    fn substitution_effect_monotonicity(s in subst(), phi in effect(), extra in effect()) {
+        let mut phi2 = phi.clone();
+        phi2.extend(extra);
+        prop_assert!(s.effect(&phi).is_subset(&s.effect(&phi2)));
+    }
+
+    /// The arrow-effect-substitution interchange property:
+    /// frev(S(ε.φ)) = S({ε} ∪ φ).
+    #[test]
+    fn arrow_effect_interchange(s in subst(), ae in arrow_eff()) {
+        let lhs = s.arrow_eff(&ae).frev();
+        let mut dom = ae.latent.clone();
+        dom.insert(Atom::Eff(ae.handle));
+        let rhs = s.effect(&dom);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Substituting an effect yields an effect closed under the map (no
+    /// domain variables survive unless mapped to themselves).
+    #[test]
+    fn effect_substitution_removes_domain(s in subst(), phi in effect()) {
+        let out = s.effect(&phi);
+        for (r, r2) in &s.reg {
+            if r != r2 && !s.reg.values().any(|v| v == r) {
+                // r only survives if some OTHER variable maps onto it or an
+                // effect var's latent mentions it.
+                let via_eff = s.eff.values().any(|ae| ae.frev().contains(&Atom::Reg(*r)));
+                if !via_eff {
+                    prop_assert!(!out.contains(&Atom::Reg(*r)));
+                }
+            }
+        }
+    }
+
+    /// Proposition 1 + 2: Ω ⊢ µ : φ implies Ω ⊢ µ and frev(µ) ⊆ φ.
+    #[test]
+    fn containment_implies_wf_and_frev(om in omega(), m in mu()) {
+        let phi = closing_effect(&om, &m);
+        prop_assert!(mu_contained(&om, &m, &phi));
+        prop_assert!(wf_mu(&om, &m));
+        let mut fr = Effect::new();
+        m.frev(&mut fr);
+        prop_assert!(fr.is_subset(&phi));
+    }
+
+    /// Effect extensibility: Ω ⊢ µ : φ and φ ⊆ φ' imply Ω ⊢ µ : φ'.
+    #[test]
+    fn containment_effect_extensibility(om in omega(), m in mu(), extra in effect()) {
+        let phi = closing_effect(&om, &m);
+        let mut phi2 = phi.clone();
+        phi2.extend(extra);
+        prop_assert!(mu_contained(&om, &m, &phi2));
+    }
+
+    /// Proposition 4: containment is closed under region-effect
+    /// substitution: Ω ⊢ µ : φ ⟹ S(Ω) ⊢ S(µ) : S(φ).
+    #[test]
+    fn containment_closed_under_region_effect_subst(
+        om in omega(),
+        m in mu(),
+        s in region_effect_subst(),
+    ) {
+        let phi = closing_effect(&om, &m);
+        prop_assume!(mu_contained(&om, &m, &phi));
+        let om2: Delta = om.iter().map(|(a, ae)| (*a, s.arrow_eff(ae))).collect();
+        let m2 = s.mu(&m);
+        let phi2 = s.effect(&phi);
+        prop_assert!(mu_contained(&om2, &m2, &phi2));
+    }
+
+    /// Substitution distributes over type constructors.
+    #[test]
+    fn substitution_is_structural(s in subst(), a in mu(), b in mu(), r in rvar()) {
+        let pair = Mu::pair(a.clone(), b.clone(), r);
+        let out = s.mu(&pair);
+        prop_assert_eq!(out, Mu::pair(s.mu(&a), s.mu(&b), s.reg_var(r)));
+    }
+
+    /// freshen_scheme produces an equivalent scheme: same shape, fresh
+    /// bound variables, same free atoms.
+    #[test]
+    fn freshening_preserves_free_atoms(m1 in mu(), ae in arrow_eff(), m2 in mu(),
+                                       rv in rvar(), ev in evar()) {
+        let scheme = Scheme {
+            rvars: vec![rv],
+            evars: vec![ev],
+            delta: vec![],
+            body: BoxTy::Arrow(m1, ae, m2),
+        };
+        let fresh = freshen_scheme(&scheme);
+        let mut free_a = Effect::new();
+        scheme.frev(&mut free_a);
+        let mut free_b = Effect::new();
+        fresh.frev(&mut free_b);
+        prop_assert_eq!(free_a, free_b);
+        prop_assert_ne!(fresh.rvars[0], scheme.rvars[0]);
+        prop_assert_ne!(fresh.evars[0], scheme.evars[0]);
+    }
+
+    /// Scheme-and-place containment is invariant under freshening.
+    #[test]
+    fn pi_containment_alpha_invariant(m1 in mu(), ae in arrow_eff(), m2 in mu(),
+                                      place in rvar(), phi in effect()) {
+        let scheme = Scheme {
+            rvars: vec![],
+            evars: vec![],
+            delta: vec![],
+            body: BoxTy::Arrow(m1, ae, m2),
+        };
+        let mut full = phi;
+        full.insert(Atom::Reg(place));
+        let pi1 = Pi::Scheme(scheme.clone(), place);
+        let pi2 = Pi::Scheme(freshen_scheme(&scheme), place);
+        prop_assert_eq!(
+            pi_contained(&Delta::new(), &pi1, &full),
+            pi_contained(&Delta::new(), &pi2, &full)
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The code table: a pre-pass over the program term assigning a code id
+//! to every lambda and `fun` definition, with its free program variables
+//! and free region variables (the closure layout).
+
+use rml_core::terms::{FixDef, Term};
+use rml_core::vars::RegVar;
+use rml_syntax::Symbol;
+use std::collections::{BTreeSet, HashMap};
+
+/// Index into the code table.
+pub type CodeId = usize;
+
+/// One compiled function.
+pub struct CodeEntry<'a> {
+    /// Parameter.
+    pub param: Symbol,
+    /// Body.
+    pub body: &'a Term,
+    /// Free program variables captured at closure creation, in slot order
+    /// (for `fun` members this excludes the group names, which occupy the
+    /// sibling slots).
+    pub fvs: Vec<Symbol>,
+    /// Region parameters (the scheme's quantified region variables) —
+    /// filled at region application.
+    pub rparams: Vec<RegVar>,
+    /// Free region variables captured at closure creation, in slot order.
+    pub frvs: Vec<RegVar>,
+    /// For `fun` members: the group's member code ids and names.
+    pub group: Option<GroupInfo>,
+}
+
+/// Shared information about a `fun` group.
+#[derive(Clone)]
+pub struct GroupInfo {
+    /// Code ids of all members, in order.
+    pub members: Vec<CodeId>,
+    /// Names of all members, in order.
+    pub names: Vec<Symbol>,
+}
+
+/// The code table.
+pub struct CodeTable<'a> {
+    /// Entries by id.
+    pub entries: Vec<CodeEntry<'a>>,
+    /// Lambda node (by address) → code id.
+    pub lam_ids: HashMap<usize, CodeId>,
+    /// `Fix` group (`Rc` address of its defs) → member code ids.
+    pub fix_ids: HashMap<usize, Vec<CodeId>>,
+}
+
+impl<'a> CodeTable<'a> {
+    /// Builds the table for a program.
+    pub fn build(term: &'a Term) -> CodeTable<'a> {
+        let mut t = CodeTable {
+            entries: Vec::new(),
+            lam_ids: HashMap::new(),
+            fix_ids: HashMap::new(),
+        };
+        t.walk(term);
+        t
+    }
+
+    fn walk(&mut self, e: &'a Term) {
+        match e {
+            Term::Lam { param, body, .. } => {
+                let key = e as *const Term as usize;
+                if !self.lam_ids.contains_key(&key) {
+                    let mut fvs: Vec<Symbol> = body
+                        .fpv()
+                        .into_iter()
+                        .filter(|v| v != param)
+                        .collect();
+                    fvs.sort();
+                    let mut frvs: BTreeSet<RegVar> = BTreeSet::new();
+                    free_rvars(body, &mut Vec::new(), &mut frvs);
+                    let id = self.entries.len();
+                    self.entries.push(CodeEntry {
+                        param: *param,
+                        body,
+                        fvs,
+                        rparams: Vec::new(),
+                        frvs: frvs.into_iter().collect(),
+                        group: None,
+                    });
+                    self.lam_ids.insert(key, id);
+                }
+                self.walk(body);
+            }
+            Term::Fix { defs, .. } => {
+                let key = std::rc::Rc::as_ptr(defs) as usize;
+                if !self.fix_ids.contains_key(&key) {
+                    let names: Vec<Symbol> = defs.iter().map(|d| d.f).collect();
+                    let base = self.entries.len();
+                    let members: Vec<CodeId> = (0..defs.len()).map(|i| base + i).collect();
+                    for d in defs.iter() {
+                        let entry = self.fix_entry(d, &names, &members);
+                        self.entries.push(entry);
+                    }
+                    self.fix_ids.insert(key, members);
+                    for d in defs.iter() {
+                        self.walk(&d.body);
+                    }
+                }
+            }
+            _ => e_children(e, |c| self.walk(c)),
+        }
+    }
+
+    fn fix_entry(
+        &mut self,
+        d: &'a FixDef,
+        names: &[Symbol],
+        members: &[CodeId],
+    ) -> CodeEntry<'a> {
+        let mut fvs: Vec<Symbol> = d
+            .body
+            .fpv()
+            .into_iter()
+            .filter(|v| *v != d.param && !names.contains(v))
+            .collect();
+        fvs.sort();
+        let mut bound: Vec<RegVar> = d.scheme.rvars.clone();
+        let mut frvs = BTreeSet::new();
+        free_rvars(&d.body, &mut bound, &mut frvs);
+        CodeEntry {
+            param: d.param,
+            body: &d.body,
+            fvs,
+            rparams: d.scheme.rvars.clone(),
+            frvs: frvs.into_iter().collect(),
+            group: Some(GroupInfo {
+                members: members.to_vec(),
+                names: names.to_vec(),
+            }),
+        }
+    }
+}
+
+fn e_children<'a>(e: &'a Term, mut f: impl FnMut(&'a Term)) {
+    match e {
+        Term::Var(_)
+        | Term::Unit
+        | Term::Int(_)
+        | Term::Bool(_)
+        | Term::Str(..)
+        | Term::Nil(_)
+        | Term::Val(_) => {}
+        Term::Lam { body, .. } => f(body),
+        Term::Fix { defs, .. } => {
+            for d in defs.iter() {
+                f(&d.body);
+            }
+        }
+        Term::App(a, b) | Term::Assign(a, b) | Term::Pair(a, b, _) | Term::Cons(a, b, _) => {
+            f(a);
+            f(b);
+        }
+        Term::RApp { f: g, .. } => f(g),
+        Term::Let { rhs, body, .. } => {
+            f(rhs);
+            f(body);
+        }
+        Term::Letregion { body, .. } => f(body),
+        Term::Sel(_, a) | Term::RefNew(a, _) | Term::Deref(a) | Term::Raise(a, _) => f(a),
+        Term::If(a, b, c) => {
+            f(a);
+            f(b);
+            f(c);
+        }
+        Term::Prim(_, args, _) => {
+            for a in args {
+                f(a);
+            }
+        }
+        Term::CaseList {
+            scrut,
+            nil_rhs,
+            cons_rhs,
+            ..
+        } => {
+            f(scrut);
+            f(nil_rhs);
+            f(cons_rhs);
+        }
+        Term::Exn { arg, .. } => {
+            if let Some(a) = arg {
+                f(a);
+            }
+        }
+        Term::Handle { body, handler, .. } => {
+            f(body);
+            f(handler);
+        }
+    }
+}
+
+/// Free region variables of a term: all regions in `at` annotations,
+/// primitive result regions, instantiation ranges, and group allocation
+/// regions, minus `letregion`/scheme binders.
+pub fn free_rvars(e: &Term, bound: &mut Vec<RegVar>, out: &mut BTreeSet<RegVar>) {
+    let add = |r: RegVar, bound: &Vec<RegVar>, out: &mut BTreeSet<RegVar>| {
+        if !bound.contains(&r) {
+            out.insert(r);
+        }
+    };
+    match e {
+        Term::Str(_, r) | Term::Pair(_, _, r) | Term::Cons(_, _, r) | Term::RefNew(_, r) => {
+            add(*r, bound, out)
+        }
+        Term::Lam { at, .. } => add(*at, bound, out),
+        Term::Exn { at, .. } => add(*at, bound, out),
+        Term::Prim(_, _, Some(r)) => add(*r, bound, out),
+        Term::Fix { ats, .. } => {
+            for r in ats.iter() {
+                add(*r, bound, out);
+            }
+        }
+        Term::RApp { inst, at, .. } => {
+            add(*at, bound, out);
+            for v in inst.reg.values() {
+                add(*v, bound, out);
+            }
+        }
+        _ => {}
+    }
+    match e {
+        Term::Letregion { rvars, body, .. } => {
+            let n = bound.len();
+            bound.extend(rvars.iter().copied());
+            free_rvars(body, bound, out);
+            bound.truncate(n);
+        }
+        Term::Lam { body, .. } => free_rvars(body, bound, out),
+        Term::Fix { defs, .. } => {
+            for d in defs.iter() {
+                let n = bound.len();
+                bound.extend(d.scheme.rvars.iter().copied());
+                free_rvars(&d.body, bound, out);
+                bound.truncate(n);
+            }
+        }
+        other => e_children(other, |c| free_rvars(c, bound, out)),
+    }
+}

@@ -1,0 +1,31 @@
+//! Hindley–Milner type inference for the `rml` source language.
+//!
+//! This crate implements algorithm W with SML's value restriction and
+//! produces a fully resolved *typed AST* ([`tast::TProgram`]) in which
+//!
+//! * every expression node carries its type,
+//! * every `let`/`fun` binding carries its type scheme, and
+//! * every polymorphic variable occurrence records the types instantiated
+//!   for the scheme's quantified type variables.
+//!
+//! The instantiation records are what region inference (crate `rml-infer`)
+//! later uses to implement the paper's *substitution coverage* (`Ω ⊢ S : ∆`)
+//! and to detect *spurious* type variables — type variables that occur free
+//! in the type of an identifier captured by a function but not in the type
+//! of the function itself (Section 4 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! let prog = rml_syntax::parse_program("fun id x = x  val y = id 7").unwrap();
+//! let typed = rml_hm::infer_program(&prog).unwrap();
+//! assert_eq!(typed.binds.len(), 2);
+//! ```
+
+pub mod infer;
+pub mod tast;
+pub mod types;
+
+pub use infer::{infer_program, TypeError};
+pub use tast::{TBind, TExpr, TExprKind, TFunBind, TProgram};
+pub use types::{Scheme, Ty};

@@ -1,0 +1,254 @@
+//! The typed abstract syntax tree produced by inference.
+//!
+//! Every node carries its (fully zonked) type; bindings carry schemes; and
+//! polymorphic variable occurrences record the types instantiated for the
+//! quantified variables of the scheme they refer to. Occurrences of
+//! bindings that are still being inferred (recursive calls inside a `fun`
+//! group) record `inst: None`: they are type-monomorphic, which is exactly
+//! the treatment the paper's rule for recursive functions requires
+//! (region-polymorphic but type-monomorphic recursion).
+
+use crate::types::{Scheme, Ty};
+use rml_syntax::ast::PrimOp;
+use rml_syntax::Symbol;
+
+/// A typed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TProgram {
+    /// Top-level bindings in source order.
+    pub binds: Vec<TBind>,
+}
+
+/// A typed binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TBind {
+    /// `val x = e`, generalised when the right-hand side is a syntactic
+    /// value (SML value restriction).
+    Val {
+        /// Bound name.
+        name: Symbol,
+        /// The binding's scheme.
+        scheme: Scheme,
+        /// Right-hand side.
+        rhs: TExpr,
+    },
+    /// A group of mutually recursive functions.
+    Fun(Vec<TFunBind>),
+    /// `exception E of ty`. The argument type may mention `Quant` variables
+    /// of an enclosing function's scheme (scoped type variables) — the
+    /// situation of the paper's Section 4.4.
+    Exception {
+        /// Constructor name.
+        name: Symbol,
+        /// Argument type, if declared with `of ty`.
+        arg: Option<Ty>,
+    },
+}
+
+/// One function of a `fun` group. Multi-parameter functions have been
+/// curried: `param` is the first parameter, extra parameters appear as
+/// nested lambdas in `body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TFunBind {
+    /// Function name.
+    pub name: Symbol,
+    /// The function's generalised scheme (an arrow type).
+    pub scheme: Scheme,
+    /// First parameter.
+    pub param: Symbol,
+    /// Type of the first parameter.
+    pub param_ty: Ty,
+    /// Body (with remaining parameters as lambdas).
+    pub body: TExpr,
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TExpr {
+    /// The node's type.
+    pub ty: Ty,
+    /// The node proper.
+    pub kind: TExprKind,
+}
+
+/// Typed expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExprKind {
+    /// `()`
+    Unit,
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable occurrence. `inst` records the instantiation of the
+    /// binding's scheme (`None` for monomorphic/recursive occurrences).
+    Var {
+        /// The variable.
+        name: Symbol,
+        /// Types instantiated for the scheme's quantified variables.
+        inst: Option<Vec<Ty>>,
+    },
+    /// Lambda.
+    Lam {
+        /// Parameter.
+        param: Symbol,
+        /// Parameter type.
+        param_ty: Ty,
+        /// Body.
+        body: Box<TExpr>,
+    },
+    /// Application.
+    App(Box<TExpr>, Box<TExpr>),
+    /// `let` with typed bindings.
+    Let {
+        /// Bindings.
+        binds: Vec<TBind>,
+        /// Body.
+        body: Box<TExpr>,
+    },
+    /// Pair.
+    Pair(Box<TExpr>, Box<TExpr>),
+    /// Projection (1 or 2).
+    Sel(u8, Box<TExpr>),
+    /// Conditional.
+    If(Box<TExpr>, Box<TExpr>, Box<TExpr>),
+    /// Primitive application.
+    Prim(PrimOp, Vec<TExpr>),
+    /// `nil`.
+    Nil,
+    /// `h :: t`.
+    Cons(Box<TExpr>, Box<TExpr>),
+    /// List case.
+    CaseList {
+        /// Scrutinee.
+        scrut: Box<TExpr>,
+        /// `nil` branch.
+        nil_rhs: Box<TExpr>,
+        /// Cons-branch head binder.
+        head: Symbol,
+        /// Cons-branch tail binder.
+        tail: Symbol,
+        /// Cons branch.
+        cons_rhs: Box<TExpr>,
+    },
+    /// `ref e`.
+    Ref(Box<TExpr>),
+    /// `!e`.
+    Deref(Box<TExpr>),
+    /// `e := e`.
+    Assign(Box<TExpr>, Box<TExpr>),
+    /// Sequencing.
+    Seq(Box<TExpr>, Box<TExpr>),
+    /// `raise e`.
+    Raise(Box<TExpr>),
+    /// `e handle E x => e'`.
+    Handle {
+        /// Protected expression.
+        body: Box<TExpr>,
+        /// Caught constructor.
+        exn: Symbol,
+        /// Argument binder.
+        arg: Symbol,
+        /// Type of the bound argument (`unit` for nullary exceptions).
+        arg_ty: Ty,
+        /// Handler.
+        handler: Box<TExpr>,
+    },
+    /// Exception-constructor application; `arg` is `None` for nullary
+    /// constructors. The node's type is `exn`.
+    ConApp {
+        /// Constructor name.
+        exn: Symbol,
+        /// Argument, if any.
+        arg: Option<Box<TExpr>>,
+    },
+}
+
+impl TExpr {
+    /// Calls `f` on every node of the tree (pre-order).
+    pub fn walk<F: FnMut(&TExpr)>(&self, f: &mut F) {
+        f(self);
+        match &self.kind {
+            TExprKind::Unit
+            | TExprKind::Int(_)
+            | TExprKind::Str(_)
+            | TExprKind::Bool(_)
+            | TExprKind::Var { .. }
+            | TExprKind::Nil => {}
+            TExprKind::Lam { body, .. } => body.walk(f),
+            TExprKind::App(a, b)
+            | TExprKind::Pair(a, b)
+            | TExprKind::Cons(a, b)
+            | TExprKind::Assign(a, b)
+            | TExprKind::Seq(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            TExprKind::Let { binds, body } => {
+                for b in binds {
+                    match b {
+                        TBind::Val { rhs, .. } => rhs.walk(f),
+                        TBind::Fun(fs) => {
+                            for fb in fs {
+                                fb.body.walk(f);
+                            }
+                        }
+                        TBind::Exception { .. } => {}
+                    }
+                }
+                body.walk(f);
+            }
+            TExprKind::Sel(_, e) | TExprKind::Ref(e) | TExprKind::Deref(e) | TExprKind::Raise(e) => {
+                e.walk(f)
+            }
+            TExprKind::If(a, b, c) => {
+                a.walk(f);
+                b.walk(f);
+                c.walk(f);
+            }
+            TExprKind::Prim(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            TExprKind::CaseList {
+                scrut,
+                nil_rhs,
+                cons_rhs,
+                ..
+            } => {
+                scrut.walk(f);
+                nil_rhs.walk(f);
+                cons_rhs.walk(f);
+            }
+            TExprKind::Handle { body, handler, .. } => {
+                body.walk(f);
+                handler.walk(f);
+            }
+            TExprKind::ConApp { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+}
+
+impl TProgram {
+    /// Calls `f` on every expression node in the program.
+    pub fn walk<F: FnMut(&TExpr)>(&self, f: &mut F) {
+        for b in &self.binds {
+            match b {
+                TBind::Val { rhs, .. } => rhs.walk(f),
+                TBind::Fun(fs) => {
+                    for fb in fs {
+                        fb.body.walk(f);
+                    }
+                }
+                TBind::Exception { .. } => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The intermediate, store-annotated term produced by the constraint pass
+//! and consumed by the build pass.
+//!
+//! `CTerm` mirrors `rml_core::terms::Term` but carries union-find store
+//! nodes ([`RhoId`]/[`EpsId`]) and inference types ([`RTy`]) instead of
+//! resolved core variables, and has **no** `letregion` — region scopes are
+//! decided by the build pass once all unification is done.
+
+use crate::rty::RTy;
+use crate::store::{EpsId, RhoId};
+use rml_core::vars::TyVar;
+use rml_syntax::ast::PrimOp;
+use rml_syntax::Symbol;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A region-polymorphic `fun` definition shared between its binding site
+/// and its use sites. The scheme is filled in at generalisation time.
+#[derive(Debug)]
+pub struct FunDef {
+    /// Function name.
+    pub name: Symbol,
+    /// Region the closure is stored in.
+    pub place: RhoId,
+    /// The generalised scheme (filled after the group is processed).
+    pub scheme: RefCell<Option<RSchemeInfo>>,
+    /// Whether any quantified type variable is spurious.
+    pub spurious: RefCell<bool>,
+}
+
+/// A generalised region scheme at the store level.
+#[derive(Debug, Clone)]
+pub struct RSchemeInfo {
+    /// Quantified region nodes (canonical at generalisation time).
+    pub rvars: Vec<RhoId>,
+    /// Quantified effect nodes.
+    pub evars: Vec<EpsId>,
+    /// Quantified type variables with their arrow-effect nodes; the `bool`
+    /// marks the variable spurious. Order matches the HM scheme's
+    /// instantiation order.
+    pub delta: Vec<(TyVar, EpsId, bool)>,
+    /// The scheme body (an arrow).
+    pub body: RTy,
+}
+
+/// Instantiation data recorded at a use of a `fun`-bound variable.
+#[derive(Debug)]
+pub struct InstData {
+    /// The definition being instantiated.
+    pub fun: Rc<FunDef>,
+    /// Bound-region → instance mapping (`None` = identity, for recursive
+    /// and sibling calls inside the group).
+    pub maps: Option<InstMaps>,
+    /// Region for the specialised closure.
+    pub at: RhoId,
+}
+
+/// The three instantiation maps.
+#[derive(Debug, Clone, Default)]
+pub struct InstMaps {
+    /// Bound region → instance region.
+    pub rmap: Vec<(RhoId, RhoId)>,
+    /// Bound effect variable → instance effect variable.
+    pub emap: Vec<(EpsId, EpsId)>,
+    /// Quantified type variable → instance type (aligned with `delta`),
+    /// paired with the effect node its coverage atoms went into.
+    pub tmap: Vec<(TyVar, RTy, EpsId)>,
+}
+
+/// One member of a `fun` group at the intermediate level.
+#[derive(Debug)]
+pub struct CFun {
+    /// The shared definition record.
+    pub def: Rc<FunDef>,
+    /// Parameter.
+    pub param: Symbol,
+    /// Body.
+    pub body: CTerm,
+}
+
+/// Intermediate terms.
+#[derive(Debug)]
+pub enum CTerm {
+    /// Monomorphic variable occurrence.
+    Var(Symbol),
+    /// Instantiating occurrence of a `fun`-bound variable (becomes a
+    /// region application).
+    Inst(InstData),
+    /// `()`
+    Unit,
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal at a region.
+    Str(String, RhoId),
+    /// Lambda with its full arrow type.
+    Lam {
+        /// Parameter.
+        param: Symbol,
+        /// The arrow type (a boxed arrow `RTy`).
+        arrow: RTy,
+        /// Body.
+        body: Box<CTerm>,
+    },
+    /// Application.
+    App(Box<CTerm>, Box<CTerm>),
+    /// A `fun` group binding scoped over `body`.
+    LetFun {
+        /// The group.
+        group: Vec<CFun>,
+        /// Continuation.
+        body: Box<CTerm>,
+    },
+    /// `let x = rhs in body`.
+    Let {
+        /// Bound variable.
+        x: Symbol,
+        /// Right-hand side.
+        rhs: Box<CTerm>,
+        /// Body.
+        body: Box<CTerm>,
+    },
+    /// Pair at a region.
+    Pair(Box<CTerm>, Box<CTerm>, RhoId),
+    /// Projection.
+    Sel(u8, Box<CTerm>),
+    /// Conditional.
+    If(Box<CTerm>, Box<CTerm>, Box<CTerm>),
+    /// Primitive application with optional result region.
+    Prim(PrimOp, Vec<CTerm>, Option<RhoId>),
+    /// `nil` with its list type.
+    Nil(RTy),
+    /// Cons at a region.
+    Cons(Box<CTerm>, Box<CTerm>, RhoId),
+    /// List case.
+    CaseList {
+        /// Scrutinee.
+        scrut: Box<CTerm>,
+        /// `nil` branch.
+        nil_rhs: Box<CTerm>,
+        /// Head binder.
+        head: Symbol,
+        /// Tail binder.
+        tail: Symbol,
+        /// Cons branch.
+        cons_rhs: Box<CTerm>,
+    },
+    /// `ref e` at a region.
+    RefNew(Box<CTerm>, RhoId),
+    /// `!e`.
+    Deref(Box<CTerm>),
+    /// `e1 := e2`.
+    Assign(Box<CTerm>, Box<CTerm>),
+    /// Exception construction at a region.
+    Exn {
+        /// Constructor.
+        name: Symbol,
+        /// Argument.
+        arg: Option<Box<CTerm>>,
+        /// Region (always the global region).
+        at: RhoId,
+    },
+    /// `raise e` with result type.
+    Raise(Box<CTerm>, RTy),
+    /// `e handle E x => e'`.
+    Handle {
+        /// Protected expression.
+        body: Box<CTerm>,
+        /// Constructor.
+        exn: Symbol,
+        /// Binder.
+        arg: Symbol,
+        /// Handler.
+        handler: Box<CTerm>,
+    },
+}

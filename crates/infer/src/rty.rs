@@ -1,0 +1,317 @@
+//! Inference-time region types: the shapes of `rml_core::types::Mu` with
+//! union-find store nodes in place of region and effect variables.
+
+use crate::store::{AtomI, EpsId, RhoId, Store};
+use rml_core::types::{BoxTy, Mu};
+use rml_core::vars::TyVar;
+use rml_hm::Ty;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A type-and-place during inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RTy {
+    /// Type variable (already mapped to a core-level `TyVar`).
+    Var(TyVar),
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `unit`
+    Unit,
+    /// Boxed type at a region node.
+    Boxed(Box<RBox>, RhoId),
+}
+
+/// A boxed constructor during inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RBox {
+    /// Pair.
+    Pair(RTy, RTy),
+    /// Arrow with its effect-variable handle (latent lives in the store).
+    Arrow(RTy, EpsId, RTy),
+    /// String.
+    Str,
+    /// List.
+    List(RTy),
+    /// Ref.
+    Ref(RTy),
+    /// Exception.
+    Exn,
+}
+
+impl RTy {
+    /// Builds an arrow at fresh places.
+    pub fn arrow(st: &mut Store, a: RTy, b: RTy) -> RTy {
+        let eps = st.fresh_eps();
+        let rho = st.fresh_rho();
+        RTy::Boxed(Box::new(RBox::Arrow(a, eps, b)), rho)
+    }
+
+    /// The place, if boxed.
+    pub fn place(&self) -> Option<RhoId> {
+        match self {
+            RTy::Boxed(_, r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Deconstructs an arrow.
+    pub fn as_arrow(&self) -> Option<(&RTy, EpsId, &RTy, RhoId)> {
+        match self {
+            RTy::Boxed(b, r) => match &**b {
+                RBox::Arrow(a, e, c) => Some((a, *e, c, *r)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Collects the free region/effect atoms of the *surface* of the type
+    /// (handles, not their latent closures), canonicalised.
+    pub fn frev(&self, st: &Store, out: &mut BTreeSet<AtomI>) {
+        match self {
+            RTy::Var(_) | RTy::Int | RTy::Bool | RTy::Unit => {}
+            RTy::Boxed(b, r) => {
+                out.insert(AtomI::Rho(st.find_rho(*r)));
+                match &**b {
+                    RBox::Pair(a, c) => {
+                        a.frev(st, out);
+                        c.frev(st, out);
+                    }
+                    RBox::Arrow(a, e, c) => {
+                        out.insert(AtomI::Eps(st.find_eps(*e)));
+                        a.frev(st, out);
+                        c.frev(st, out);
+                    }
+                    RBox::Str | RBox::Exn => {}
+                    RBox::List(x) | RBox::Ref(x) => x.frev(st, out),
+                }
+            }
+        }
+    }
+
+    /// Collects free type variables.
+    pub fn ftv(&self, out: &mut BTreeSet<TyVar>) {
+        match self {
+            RTy::Var(a) => {
+                out.insert(*a);
+            }
+            RTy::Int | RTy::Bool | RTy::Unit => {}
+            RTy::Boxed(b, _) => match &**b {
+                RBox::Pair(a, c) | RBox::Arrow(a, _, c) => {
+                    a.ftv(out);
+                    c.ftv(out);
+                }
+                RBox::Str | RBox::Exn => {}
+                RBox::List(x) | RBox::Ref(x) => x.ftv(out),
+            },
+        }
+    }
+
+    /// Substitutes type variables, regions, and effect handles (used for
+    /// scheme instantiation). Effect handles not in `emap` are kept.
+    pub fn subst(
+        &self,
+        st: &Store,
+        tmap: &BTreeMap<TyVar, RTy>,
+        rmap: &BTreeMap<RhoId, RhoId>,
+        emap: &BTreeMap<EpsId, EpsId>,
+    ) -> RTy {
+        match self {
+            RTy::Var(a) => tmap.get(a).cloned().unwrap_or(RTy::Var(*a)),
+            RTy::Int => RTy::Int,
+            RTy::Bool => RTy::Bool,
+            RTy::Unit => RTy::Unit,
+            RTy::Boxed(b, r) => {
+                let r = st.find_rho(*r);
+                let r2 = rmap.get(&r).copied().unwrap_or(r);
+                let b2 = match &**b {
+                    RBox::Pair(a, c) => RBox::Pair(
+                        a.subst(st, tmap, rmap, emap),
+                        c.subst(st, tmap, rmap, emap),
+                    ),
+                    RBox::Arrow(a, e, c) => {
+                        let e = st.find_eps(*e);
+                        let e2 = emap.get(&e).copied().unwrap_or(e);
+                        RBox::Arrow(
+                            a.subst(st, tmap, rmap, emap),
+                            e2,
+                            c.subst(st, tmap, rmap, emap),
+                        )
+                    }
+                    RBox::Str => RBox::Str,
+                    RBox::Exn => RBox::Exn,
+                    RBox::List(x) => RBox::List(x.subst(st, tmap, rmap, emap)),
+                    RBox::Ref(x) => RBox::Ref(x.subst(st, tmap, rmap, emap)),
+                };
+                RTy::Boxed(Box::new(b2), r2)
+            }
+        }
+    }
+
+    /// Resolves the type to a core `Mu` (expanding latent effects).
+    pub fn resolve(&self, st: &mut Store) -> Mu {
+        match self {
+            RTy::Var(a) => Mu::Var(*a),
+            RTy::Int => Mu::Int,
+            RTy::Bool => Mu::Bool,
+            RTy::Unit => Mu::Unit,
+            RTy::Boxed(b, r) => {
+                let rho = st.core_rho(*r);
+                let bt = match &**b {
+                    RBox::Pair(a, c) => BoxTy::Pair(a.resolve(st), c.resolve(st)),
+                    RBox::Arrow(a, e, c) => {
+                        let ae = st.core_arrow_eff(*e);
+                        BoxTy::Arrow(a.resolve(st), ae, c.resolve(st))
+                    }
+                    RBox::Str => BoxTy::Str,
+                    RBox::Exn => BoxTy::Exn,
+                    RBox::List(x) => BoxTy::List(x.resolve(st)),
+                    RBox::Ref(x) => BoxTy::Ref(x.resolve(st)),
+                };
+                Mu::Boxed(Box::new(bt), rho)
+            }
+        }
+    }
+}
+
+/// Spreads an HM type into a region type with fresh region and effect
+/// variables at every boxed constructor (the *spreading phase* of region
+/// inference). HM `Quant` variables map through `quant_map` (extended on
+/// demand with fresh core type variables).
+pub fn spread(st: &mut Store, quant_map: &mut BTreeMap<u32, TyVar>, ty: &Ty) -> RTy {
+    match ty {
+        Ty::Meta(_) => RTy::Unit, // unresolved metas default to unit post-zonk; defensive
+        Ty::Quant(q) => RTy::Var(*quant_map.entry(*q).or_insert_with(TyVar::fresh)),
+        Ty::Int => RTy::Int,
+        Ty::Bool => RTy::Bool,
+        Ty::Unit => RTy::Unit,
+        Ty::Str => RTy::Boxed(Box::new(RBox::Str), st.fresh_rho()),
+        Ty::Exn => RTy::Boxed(Box::new(RBox::Exn), st.fresh_rho()),
+        Ty::Pair(a, b) => {
+            let ra = spread(st, quant_map, a);
+            let rb = spread(st, quant_map, b);
+            RTy::Boxed(Box::new(RBox::Pair(ra, rb)), st.fresh_rho())
+        }
+        Ty::List(e) => {
+            let re = spread(st, quant_map, e);
+            RTy::Boxed(Box::new(RBox::List(re)), st.fresh_rho())
+        }
+        Ty::Ref(e) => {
+            let re = spread(st, quant_map, e);
+            RTy::Boxed(Box::new(RBox::Ref(re)), st.fresh_rho())
+        }
+        Ty::Arrow(a, b) => {
+            let ra = spread(st, quant_map, a);
+            let rb = spread(st, quant_map, b);
+            let eps = st.fresh_eps();
+            RTy::Boxed(Box::new(RBox::Arrow(ra, eps, rb)), st.fresh_rho())
+        }
+    }
+}
+
+/// Unification of two region types whose underlying HM types are equal.
+///
+/// # Errors
+///
+/// Returns a message on shape mismatch (which indicates a bug upstream —
+/// HM inference guarantees equal shapes).
+pub fn unify(st: &mut Store, a: &RTy, b: &RTy) -> Result<(), String> {
+    match (a, b) {
+        (RTy::Var(x), RTy::Var(y)) if x == y => Ok(()),
+        (RTy::Int, RTy::Int)
+        | (RTy::Bool, RTy::Bool)
+        | (RTy::Unit, RTy::Unit) => Ok(()),
+        (RTy::Boxed(ba, ra), RTy::Boxed(bb, rb)) => {
+            st.union_rho(*ra, *rb);
+            match (&**ba, &**bb) {
+                (RBox::Pair(a1, a2), RBox::Pair(b1, b2)) => {
+                    unify(st, a1, b1)?;
+                    unify(st, a2, b2)
+                }
+                (RBox::Arrow(a1, ea, a2), RBox::Arrow(b1, eb, b2)) => {
+                    st.union_eps(*ea, *eb);
+                    unify(st, a1, b1)?;
+                    unify(st, a2, b2)
+                }
+                (RBox::Str, RBox::Str) | (RBox::Exn, RBox::Exn) => Ok(()),
+                (RBox::List(x), RBox::List(y)) | (RBox::Ref(x), RBox::Ref(y)) => unify(st, x, y),
+                (x, y) => Err(format!("region unification shape mismatch: {x:?} vs {y:?}")),
+            }
+        }
+        (x, y) => Err(format!("region unification shape mismatch: {x:?} vs {y:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_gives_fresh_places() {
+        let mut st = Store::new();
+        let mut qm = BTreeMap::new();
+        let t = Ty::Pair(Box::new(Ty::Str), Box::new(Ty::Str));
+        let r = spread(&mut st, &mut qm, &t);
+        let RTy::Boxed(b, _) = &r else { panic!() };
+        let RBox::Pair(RTy::Boxed(_, r1), RTy::Boxed(_, r2)) = &**b else {
+            panic!()
+        };
+        assert_ne!(st.find_rho(*r1), st.find_rho(*r2));
+    }
+
+    #[test]
+    fn unify_merges_places() {
+        let mut st = Store::new();
+        let mut qm = BTreeMap::new();
+        let t = Ty::Arrow(Box::new(Ty::Int), Box::new(Ty::Str));
+        let a = spread(&mut st, &mut qm, &t);
+        let b = spread(&mut st, &mut qm, &t);
+        unify(&mut st, &a, &b).unwrap();
+        assert_eq!(
+            st.find_rho(a.place().unwrap()),
+            st.find_rho(b.place().unwrap())
+        );
+        let (_, ea, _, _) = a.as_arrow().unwrap();
+        let (_, eb, _, _) = b.as_arrow().unwrap();
+        assert_eq!(st.find_eps(ea), st.find_eps(eb));
+    }
+
+    #[test]
+    fn quant_map_is_stable() {
+        let mut st = Store::new();
+        let mut qm = BTreeMap::new();
+        let a = spread(&mut st, &mut qm, &Ty::Quant(3));
+        let b = spread(&mut st, &mut qm, &Ty::Quant(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_expands_latents() {
+        let mut st = Store::new();
+        let mut qm = BTreeMap::new();
+        let t = Ty::Arrow(Box::new(Ty::Int), Box::new(Ty::Int));
+        let r = spread(&mut st, &mut qm, &t);
+        let (_, eps, _, _) = r.as_arrow().unwrap();
+        let rho = st.fresh_rho();
+        st.add_atom(eps, AtomI::Rho(rho));
+        let mu = r.resolve(&mut st);
+        let (_, ae, _, _) = mu.as_arrow().unwrap();
+        assert_eq!(ae.latent.len(), 1);
+    }
+
+    #[test]
+    fn subst_replaces_tyvars_and_regions() {
+        let mut st = Store::new();
+        let a = TyVar::fresh();
+        let r1 = st.fresh_rho();
+        let r2 = st.fresh_rho();
+        let t = RTy::Boxed(Box::new(RBox::List(RTy::Var(a))), r1);
+        let mut tmap = BTreeMap::new();
+        tmap.insert(a, RTy::Int);
+        let mut rmap = BTreeMap::new();
+        rmap.insert(st.find_rho(r1), r2);
+        let out = t.subst(&st, &tmap, &rmap, &BTreeMap::new());
+        assert_eq!(out, RTy::Boxed(Box::new(RBox::List(RTy::Int)), r2));
+    }
+}

@@ -1,0 +1,396 @@
+//! The unification store for region inference.
+//!
+//! Region variables and effect variables are union-find nodes. Each effect
+//! variable root carries a *latent* set of atoms (regions and effect
+//! variables), kept **transitively closed**: if `ε' ∈ φ(ε)` then
+//! `φ(ε') ⊆ φ(ε)`. This invariant is exactly the "transitive basis"
+//! convention of the paper (Section 3.5), and it is what makes arrow
+//! effects grow monotonically under unification — the property the
+//! unification-based inference algorithm \[Tofte–Birkedal 1998\] relies on.
+
+use rml_core::vars::{ArrowEff, Atom, EffVar, Effect, RegVar};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A region-variable node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RhoId(pub u32);
+
+/// An effect-variable node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EpsId(pub u32);
+
+/// An atom at the store level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AtomI {
+    /// A region node.
+    Rho(RhoId),
+    /// An effect node.
+    Eps(EpsId),
+}
+
+/// The store.
+#[derive(Debug, Default)]
+pub struct Store {
+    rho_parent: Vec<u32>,
+    eps_parent: Vec<u32>,
+    /// Latent set per eps root (transitively closed, canonical roots).
+    latent: Vec<BTreeSet<AtomI>>,
+    /// Reverse membership: eps roots whose latent contains this eps root.
+    containers: Vec<BTreeSet<u32>>,
+    /// Core variable assigned to each rho root at resolution time.
+    rho_core: BTreeMap<u32, RegVar>,
+    /// Core variable assigned to each eps root at resolution time.
+    eps_core: BTreeMap<u32, EffVar>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Allocates a fresh region variable.
+    pub fn fresh_rho(&mut self) -> RhoId {
+        let id = self.rho_parent.len() as u32;
+        self.rho_parent.push(id);
+        RhoId(id)
+    }
+
+    /// Allocates a fresh effect variable with an empty latent set.
+    pub fn fresh_eps(&mut self) -> EpsId {
+        let id = self.eps_parent.len() as u32;
+        self.eps_parent.push(id);
+        self.latent.push(BTreeSet::new());
+        self.containers.push(BTreeSet::new());
+        EpsId(id)
+    }
+
+    /// Finds the canonical representative of a region variable.
+    pub fn find_rho(&self, r: RhoId) -> RhoId {
+        let mut x = r.0;
+        while self.rho_parent[x as usize] != x {
+            x = self.rho_parent[x as usize];
+        }
+        RhoId(x)
+    }
+
+    /// Finds the canonical representative of an effect variable.
+    pub fn find_eps(&self, e: EpsId) -> EpsId {
+        let mut x = e.0;
+        while self.eps_parent[x as usize] != x {
+            x = self.eps_parent[x as usize];
+        }
+        EpsId(x)
+    }
+
+    /// Unifies two region variables.
+    pub fn union_rho(&mut self, a: RhoId, b: RhoId) {
+        let ra = self.find_rho(a);
+        let rb = self.find_rho(b);
+        if ra != rb {
+            self.rho_parent[rb.0 as usize] = ra.0;
+        }
+    }
+
+    /// Unifies two effect variables, merging their latent sets and
+    /// propagating to containers.
+    pub fn union_eps(&mut self, a: EpsId, b: EpsId) {
+        let ra = self.find_eps(a);
+        let rb = self.find_eps(b);
+        if ra == rb {
+            return;
+        }
+        self.eps_parent[rb.0 as usize] = ra.0;
+        let b_latent = std::mem::take(&mut self.latent[rb.0 as usize]);
+        let b_containers = std::mem::take(&mut self.containers[rb.0 as usize]);
+        self.containers[ra.0 as usize].extend(b_containers);
+        for atom in b_latent {
+            self.add_atom(ra, atom);
+        }
+        // Anything that contained b now contains the merged class: push
+        // the merged latent to every container so closure is restored.
+        let atoms: Vec<AtomI> = self.latent[ra.0 as usize].iter().copied().collect();
+        let containers: Vec<u32> = self.containers[ra.0 as usize].iter().copied().collect();
+        for c in containers {
+            let c = self.find_eps(EpsId(c));
+            if c != ra {
+                for a in &atoms {
+                    self.add_atom(c, *a);
+                }
+            }
+        }
+    }
+
+    fn canon(&self, a: AtomI) -> AtomI {
+        match a {
+            AtomI::Rho(r) => AtomI::Rho(self.find_rho(r)),
+            AtomI::Eps(e) => AtomI::Eps(self.find_eps(e)),
+        }
+    }
+
+    /// Adds an atom to an effect variable's latent set, maintaining
+    /// transitive closure and propagating to containers (worklist).
+    pub fn add_atom(&mut self, e: EpsId, atom: AtomI) {
+        let root = self.find_eps(e);
+        let atom = self.canon(atom);
+        if atom == AtomI::Eps(root) {
+            return; // no self loops
+        }
+        if !self.latent[root.0 as usize].insert(atom) {
+            return;
+        }
+        // Transitivity: inserting ε' brings in φ(ε').
+        if let AtomI::Eps(inner) = atom {
+            self.containers[inner.0 as usize].insert(root.0);
+            let inner_latent: Vec<AtomI> =
+                self.latent[inner.0 as usize].iter().copied().collect();
+            for a in inner_latent {
+                self.add_atom(root, a);
+            }
+        }
+        // Propagate to containers of root.
+        let containers: Vec<u32> = self.containers[root.0 as usize].iter().copied().collect();
+        for c in containers {
+            let c = self.find_eps(EpsId(c));
+            if c != root {
+                self.add_atom(c, atom);
+            }
+        }
+    }
+
+    /// Adds a whole effect to a variable.
+    pub fn add_atoms<I: IntoIterator<Item = AtomI>>(&mut self, e: EpsId, atoms: I) {
+        for a in atoms {
+            self.add_atom(e, a);
+        }
+    }
+
+    /// The latent set of an effect variable (canonicalised copy).
+    pub fn latent_of(&self, e: EpsId) -> BTreeSet<AtomI> {
+        let root = self.find_eps(e);
+        self.latent[root.0 as usize]
+            .iter()
+            .map(|a| self.canon(*a))
+            .filter(|a| *a != AtomI::Eps(root))
+            .collect()
+    }
+
+    /// Canonicalises an atom set.
+    pub fn canon_set(&self, s: &BTreeSet<AtomI>) -> BTreeSet<AtomI> {
+        s.iter().map(|a| self.canon(*a)).collect()
+    }
+
+    /// The transitive region closure of an atom set: all regions reachable
+    /// through effect variables' latent sets.
+    pub fn region_closure(&self, s: &BTreeSet<AtomI>) -> BTreeSet<RhoId> {
+        let mut out = BTreeSet::new();
+        let mut seen: BTreeSet<EpsId> = BTreeSet::new();
+        let mut work: Vec<AtomI> = s.iter().copied().collect();
+        while let Some(a) = work.pop() {
+            match self.canon(a) {
+                AtomI::Rho(r) => {
+                    out.insert(r);
+                }
+                AtomI::Eps(e) => {
+                    if seen.insert(e) {
+                        work.extend(self.latent[e.0 as usize].iter().copied());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The transitive atom closure (regions and effect variables).
+    pub fn atom_closure(&self, s: &BTreeSet<AtomI>) -> BTreeSet<AtomI> {
+        let mut out = BTreeSet::new();
+        let mut work: Vec<AtomI> = s.iter().copied().collect();
+        while let Some(a) = work.pop() {
+            let a = self.canon(a);
+            if out.insert(a) {
+                if let AtomI::Eps(e) = a {
+                    work.extend(self.latent[e.0 as usize].iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    // --- Resolution to core variables -------------------------------
+
+    /// The core region variable for a node (assigned on first request).
+    pub fn core_rho(&mut self, r: RhoId) -> RegVar {
+        let root = self.find_rho(r);
+        *self.rho_core.entry(root.0).or_insert_with(RegVar::fresh)
+    }
+
+    /// The core effect variable for a node.
+    pub fn core_eps(&mut self, e: EpsId) -> EffVar {
+        let root = self.find_eps(e);
+        *self.eps_core.entry(root.0).or_insert_with(EffVar::fresh)
+    }
+
+    /// The core arrow effect `ε.φ` for a node: the handle plus its fully
+    /// expanded latent set.
+    pub fn core_arrow_eff(&mut self, e: EpsId) -> ArrowEff {
+        let handle = self.core_eps(e);
+        let latent = self.core_effect_of_eps(e);
+        ArrowEff::new(handle, latent)
+    }
+
+    /// The fully expanded core effect of an eps's latent set.
+    pub fn core_effect_of_eps(&mut self, e: EpsId) -> Effect {
+        let root = self.find_eps(e);
+        let atoms = self.atom_closure(&self.latent[root.0 as usize].clone());
+        let mut out = Effect::new();
+        for a in atoms {
+            match a {
+                AtomI::Rho(r) => {
+                    out.insert(Atom::Reg(self.core_rho(r)));
+                }
+                AtomI::Eps(ep) => {
+                    if self.find_eps(ep) != root {
+                        out.insert(Atom::Eff(self.core_eps(ep)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts an atom set to a fully expanded core effect.
+    pub fn core_effect(&mut self, s: &BTreeSet<AtomI>) -> Effect {
+        let atoms = self.atom_closure(s);
+        let mut out = Effect::new();
+        for a in atoms {
+            match a {
+                AtomI::Rho(r) => {
+                    out.insert(Atom::Reg(self.core_rho(r)));
+                }
+                AtomI::Eps(e) => {
+                    out.insert(Atom::Eff(self.core_eps(e)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_rho_merges_classes() {
+        let mut st = Store::new();
+        let a = st.fresh_rho();
+        let b = st.fresh_rho();
+        assert_ne!(st.find_rho(a), st.find_rho(b));
+        st.union_rho(a, b);
+        assert_eq!(st.find_rho(a), st.find_rho(b));
+    }
+
+    #[test]
+    fn latent_sets_merge_on_union() {
+        let mut st = Store::new();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        let r1 = st.fresh_rho();
+        let r2 = st.fresh_rho();
+        st.add_atom(e1, AtomI::Rho(r1));
+        st.add_atom(e2, AtomI::Rho(r2));
+        st.union_eps(e1, e2);
+        let l = st.latent_of(e1);
+        assert!(l.contains(&AtomI::Rho(r1)));
+        assert!(l.contains(&AtomI::Rho(r2)));
+    }
+
+    #[test]
+    fn transitivity_is_eager() {
+        // ε1 ∋ ε2, then ε2 grows: ε1 must grow too.
+        let mut st = Store::new();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        st.add_atom(e1, AtomI::Eps(e2));
+        let r = st.fresh_rho();
+        st.add_atom(e2, AtomI::Rho(r));
+        assert!(st.latent_of(e1).contains(&AtomI::Rho(r)));
+    }
+
+    #[test]
+    fn transitivity_through_chains() {
+        let mut st = Store::new();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        let e3 = st.fresh_eps();
+        st.add_atom(e1, AtomI::Eps(e2));
+        st.add_atom(e2, AtomI::Eps(e3));
+        let r = st.fresh_rho();
+        st.add_atom(e3, AtomI::Rho(r));
+        assert!(st.latent_of(e1).contains(&AtomI::Rho(r)));
+        assert!(st.latent_of(e2).contains(&AtomI::Rho(r)));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut st = Store::new();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        st.add_atom(e1, AtomI::Eps(e2));
+        st.union_eps(e1, e2); // now ε1's latent would contain itself
+        let l = st.latent_of(e1);
+        assert!(!l.contains(&AtomI::Eps(st.find_eps(e1))));
+    }
+
+    #[test]
+    fn region_closure_expands_eps() {
+        let mut st = Store::new();
+        let e = st.fresh_eps();
+        let r = st.fresh_rho();
+        st.add_atom(e, AtomI::Rho(r));
+        let mut s = BTreeSet::new();
+        s.insert(AtomI::Eps(e));
+        let rc = st.region_closure(&s);
+        assert!(rc.contains(&st.find_rho(r)));
+    }
+
+    #[test]
+    fn core_resolution_is_stable() {
+        let mut st = Store::new();
+        let a = st.fresh_rho();
+        let b = st.fresh_rho();
+        st.union_rho(a, b);
+        let ca = st.core_rho(a);
+        let cb = st.core_rho(b);
+        assert_eq!(ca, cb);
+        assert_eq!(st.core_rho(a), ca);
+    }
+
+    #[test]
+    fn union_pushes_existing_latent_to_inherited_containers() {
+        // c ∋ e1; e2 already has {r}; union(e2, e1): c must now see r.
+        let mut st = Store::new();
+        let c = st.fresh_eps();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        let r = st.fresh_rho();
+        st.add_atom(c, AtomI::Eps(e1));
+        st.add_atom(e2, AtomI::Rho(r));
+        st.union_eps(e2, e1);
+        assert!(st.latent_of(c).contains(&AtomI::Rho(r)));
+    }
+
+    #[test]
+    fn union_after_add_preserves_containers() {
+        // c ∋ e1; union(e1, e2); e2 grows — c must see it.
+        let mut st = Store::new();
+        let c = st.fresh_eps();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        st.add_atom(c, AtomI::Eps(e1));
+        st.union_eps(e1, e2);
+        let r = st.fresh_rho();
+        st.add_atom(e2, AtomI::Rho(r));
+        assert!(st.latent_of(c).contains(&AtomI::Rho(r)));
+    }
+}

@@ -1,0 +1,382 @@
+//! End-to-end tests: parse → HM → region inference → Figure 4 checking →
+//! evaluation under the formal small-step semantics.
+
+use rml_core::semantics::{EvalError, Machine};
+use rml_core::typing::{Checker, GcCheck};
+use rml_core::{Term, TypeEnv, Value};
+use rml_infer::{infer, Options, Strategy};
+
+fn pipeline(src: &str, strategy: Strategy) -> rml_infer::Output {
+    let prog = rml_syntax::parse_program(src).unwrap();
+    let typed = rml_hm::infer_program(&prog).unwrap();
+    infer(&typed, Options {
+        strategy,
+        ..Options::default()
+    })
+    .unwrap()
+}
+
+fn check(out: &rml_infer::Output, gc: GcCheck) -> Result<(), String> {
+    let checker = Checker {
+        exns: out.exns.clone(),
+        gc,
+        store: vec![],
+    };
+    checker.check(&TypeEnv::default(), &out.term).map(|_| ())
+}
+
+fn run(out: &rml_infer::Output) -> Result<Value, EvalError> {
+    let mut m = Machine::new([out.global]);
+    m.eval(out.term.clone(), 10_000_000)
+}
+
+fn run_monitored(out: &rml_infer::Output) -> Result<Value, EvalError> {
+    let mut m = Machine::new([out.global]);
+    m.monitor = true;
+    m.eval(out.term.clone(), 1_000_000)
+}
+
+#[track_caller]
+fn assert_rg_pipeline(src: &str, expect: Value) {
+    let out = pipeline(src, Strategy::Rg);
+    check(&out, GcCheck::Full).unwrap_or_else(|e| {
+        panic!(
+            "rg output fails Figure 4 checking: {e}\nterm: {}",
+            rml_core::pretty::term_to_string(&out.term)
+        )
+    });
+    let got = run_monitored(&out).unwrap_or_else(|e| {
+        panic!(
+            "evaluation failed: {e}\nterm: {}",
+            rml_core::pretty::term_to_string(&out.term)
+        )
+    });
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn fib_checks_and_runs() {
+    assert_rg_pipeline(
+        "fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) \
+         fun main () = fib 15",
+        Value::Int(610),
+    );
+}
+
+#[test]
+fn higher_order_map() {
+    assert_rg_pipeline(
+        "fun map f xs = case xs of nil => nil | h :: t => f h :: map f t \
+         fun sum xs = case xs of nil => 0 | h :: t => h + sum t \
+         fun main () = sum (map (fn x => x * x) [1, 2, 3, 4])",
+        Value::Int(30),
+    );
+}
+
+#[test]
+fn pairs_and_projections() {
+    assert_rg_pipeline(
+        "fun swap (a, b) = (b, a) \
+         fun main () = #1 (swap (1, 2)) + #2 (swap (3, 4))",
+        Value::Int(5),
+    );
+}
+
+#[test]
+fn strings_allocate_in_regions() {
+    assert_rg_pipeline(
+        "fun greet name = \"hello \" ^ name \
+         fun main () = size (greet \"world\")",
+        Value::Int(11),
+    );
+}
+
+#[test]
+fn refs_work() {
+    assert_rg_pipeline(
+        "fun main () = let val r = ref 10 val u = r := !r + 5 in !r end",
+        Value::Int(15),
+    );
+}
+
+#[test]
+fn mutual_recursion_runs() {
+    assert_rg_pipeline(
+        "fun even n = if n = 0 then true else odd (n - 1) \
+         and odd n = if n = 0 then false else even (n - 1) \
+         fun main () = if even 10 then 1 else 0",
+        Value::Int(1),
+    );
+}
+
+#[test]
+fn exceptions_check_and_run() {
+    assert_rg_pipeline(
+        "exception Overflow of int \
+         fun add_checked a b = if a + b > 100 then raise (Overflow (a + b)) else a + b \
+         fun main () = (add_checked 80 30) handle Overflow n => n - 100",
+        Value::Int(10),
+    );
+}
+
+#[test]
+fn polymorphic_value_bindings() {
+    assert_rg_pipeline(
+        "val empty = nil \
+         fun len xs = case xs of nil => 0 | h :: t => 1 + len t \
+         fun main () = len (1 :: empty) + len (true :: empty)",
+        Value::Int(2),
+    );
+}
+
+#[test]
+fn val_bound_lambda_is_region_polymorphic() {
+    assert_rg_pipeline(
+        "val double = fn x => x + x \
+         fun main () = double (double 5)",
+        Value::Int(20),
+    );
+}
+
+// The paper's Figure 1: the dead value `x` is computed *before* the pair
+// of functions is built, so it is captured (dead) in the closure `h`.
+const FIGURE1: &str = "\
+fun compose (f, g) = fn a => f (g a) \
+fun run () = \
+  let val h = compose (let val x = \"oh\" ^ \"no\" in (fn y => (), fn () => x) end) \
+      val u = forcegc () \
+  in h () end \
+fun main () = run ()";
+
+#[test]
+fn figure1_rg_is_sound() {
+    // Under the paper's system, the program checks under the full G
+    // relation and evaluates with the containment monitor on.
+    let out = pipeline(FIGURE1, Strategy::Rg);
+    check(&out, GcCheck::Full).unwrap_or_else(|e| {
+        panic!(
+            "rg output fails Figure 4 checking: {e}\nterm: {}",
+            rml_core::pretty::term_to_string(&out.term)
+        )
+    });
+    assert_eq!(run_monitored(&out).unwrap(), Value::Unit);
+    // compose is a spurious function.
+    assert_eq!(out.stats.spurious_fns, 1, "stats: {:?}", out.stats);
+}
+
+#[test]
+fn figure1_rgminus_is_unsound() {
+    // The pre-paper discipline produces a program that (a) fails the full
+    // G check exactly on the captured-variable condition, (b) passes its
+    // own (vacuous-tyvar) check, and (c) trips the containment monitor at
+    // run time: the dead string's region is deallocated while the closure
+    // `h` still points into it — the dangling pointer of Figure 2(a).
+    let out = pipeline(FIGURE1, Strategy::RgMinus);
+    let err = check(&out, GcCheck::Full).unwrap_err();
+    assert!(
+        err.contains("captured variable") || err.contains("coverage"),
+        "unexpected error: {err}"
+    );
+    check(&out, GcCheck::NoTyVars).unwrap_or_else(|e| {
+        panic!(
+            "rg- output should satisfy the pre-paper conditions: {e}\nterm: {}",
+            rml_core::pretty::term_to_string(&out.term)
+        )
+    });
+    let res = run_monitored(&out);
+    assert!(
+        matches!(
+            res,
+            Err(EvalError::ContainmentViolation(_)) | Err(EvalError::DanglingRegion { .. })
+        ),
+        "rg- evaluation should expose the dangling pointer, got {res:?}\nterm: {}",
+        rml_core::pretty::term_to_string(&out.term)
+    );
+}
+
+#[test]
+fn figure1_rgminus_still_computes_correctly_without_monitor() {
+    // Without a tracing collector the dangling pointer is harmless: the
+    // program never dereferences it (the paper's observation that `r`-mode
+    // compilation tolerates dangling pointers).
+    let out = pipeline(FIGURE1, Strategy::RgMinus);
+    assert_eq!(run(&out).unwrap(), Value::Unit);
+}
+
+#[test]
+fn figure1_r_mode_runs() {
+    let out = pipeline(FIGURE1, Strategy::R);
+    check(&out, GcCheck::Off).unwrap();
+    assert_eq!(run(&out).unwrap(), Value::Unit);
+}
+
+const FIGURE8: &str = "\
+fun compose (f, g) = fn a => f (g a) \
+fun g (f : unit -> 'a) : unit -> unit = \
+  compose (let val x = f () in (fn x => (), fn () => x) end) \
+val h = g (fn () => \"oh\" ^ \"no\") \
+fun main () = h ()";
+
+#[test]
+fn figure8_spurious_dependency() {
+    // g's 'a is spurious *transitively*: it is instantiated for compose's
+    // spurious γ (Section 4.3).
+    let out = pipeline(FIGURE8, Strategy::Rg);
+    check(&out, GcCheck::Full).unwrap_or_else(|e| {
+        panic!(
+            "rg output fails Figure 4 checking: {e}\nterm: {}",
+            rml_core::pretty::term_to_string(&out.term)
+        )
+    });
+    assert_eq!(run_monitored(&out).unwrap(), Value::Unit);
+    assert_eq!(out.stats.spurious_fns, 2, "stats: {:?}", out.stats);
+    assert!(out
+        .stats
+        .spurious_fn_names
+        .iter()
+        .any(|n| n == "g"));
+}
+
+#[test]
+fn figure8_rgminus_is_unsound() {
+    let out = pipeline(FIGURE8, Strategy::RgMinus);
+    assert!(check(&out, GcCheck::Full).is_err());
+    let res = run_monitored(&out);
+    assert!(
+        matches!(
+            res,
+            Err(EvalError::ContainmentViolation(_)) | Err(EvalError::DanglingRegion { .. })
+        ),
+        "got {res:?}"
+    );
+}
+
+#[test]
+fn letregion_is_actually_inserted() {
+    // A dead intermediate pair should get a region that is deallocated.
+    let out = pipeline(
+        "fun main () = let val p = (1, 2) in #1 p end",
+        Strategy::Rg,
+    );
+    let printed = rml_core::pretty::term_to_string(&out.term);
+    assert!(printed.contains("letregion"), "term: {printed}");
+    assert_eq!(run_monitored(&out).unwrap(), Value::Int(1));
+}
+
+#[test]
+fn exception_values_are_global() {
+    // Raising out of a deep call must not leave the exception value in a
+    // dead region (Section 4.4).
+    assert_rg_pipeline(
+        "exception E of string \
+         fun deep n = if n = 0 then raise (E (\"x\" ^ \"y\")) else deep (n - 1) \
+         fun main () = (deep 5) handle E s => size s",
+        Value::Int(2),
+    );
+}
+
+#[test]
+fn exception_with_scoped_tyvar_is_safe() {
+    // Section 4.4's polymorphic exception argument.
+    assert_rg_pipeline(
+        "fun f (x : 'a) = let exception E of 'a in (raise (E x)) handle E y => y end \
+         fun main () = f 42",
+        Value::Int(42),
+    );
+}
+
+#[test]
+fn all_strategies_agree_on_results() {
+    let src = "fun rev xs = \
+                 let fun go acc ys = case ys of nil => acc | h :: t => go (h :: acc) t \
+                 in go nil xs end \
+               fun sum xs = case xs of nil => 0 | h :: t => h + sum t \
+               fun upto n = if n = 0 then nil else n :: upto (n - 1) \
+               fun main () = sum (rev (upto 20))";
+    let mut results = Vec::new();
+    for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
+        let out = pipeline(src, s);
+        results.push(run(&out).unwrap());
+    }
+    assert!(results.iter().all(|v| *v == Value::Int(210)), "{results:?}");
+}
+
+#[test]
+fn rg_output_is_gc_safe_on_a_suite() {
+    // A battery of higher-order polymorphic programs that all must check
+    // under the full G relation and run under the monitor.
+    for (src, expect) in [
+        (
+            "fun apply f x = f x fun main () = apply (fn n => n + 1) 41",
+            Value::Int(42),
+        ),
+        (
+            "fun twice f x = f (f x) fun main () = twice (fn n => n * 2) 10",
+            Value::Int(40),
+        ),
+        (
+            "fun const k = fn x => k \
+             fun main () = (const 7) \"ignored\"",
+            Value::Int(7),
+        ),
+        (
+            "fun curry f = fn a => fn b => f (a, b) \
+             fun main () = curry (fn (x, y) => x - y) 10 4",
+            Value::Int(6),
+        ),
+        (
+            "fun compose (f, g) = fn a => f (g a) \
+             fun main () = compose (fn n => n + 1, fn n => n * 2) 20",
+            Value::Int(41),
+        ),
+    ] {
+        assert_rg_pipeline(src, expect);
+    }
+}
+
+#[test]
+fn spurious_app_example_from_section_4_2() {
+    // The List.app example: inferred scheme ∀'a 'b. ('a -> 'b) -> 'a list
+    // -> unit makes 'b spurious.
+    let src = "fun app f = \
+                 let fun loop xs = case xs of nil => () | x :: r => let val u = f x in loop r end \
+                 in loop end \
+               fun main () = app (fn x => ()) [1, 2, 3]";
+    let out = pipeline(src, Strategy::Rg);
+    check(&out, GcCheck::Full).unwrap();
+    assert_eq!(run_monitored(&out).unwrap(), Value::Unit);
+    assert!(out.stats.spurious_fns >= 1, "stats: {:?}", out.stats);
+}
+
+#[test]
+fn annotated_app_is_not_spurious() {
+    let src = "fun app (f : 'a -> unit) = \
+                 let fun loop xs = case xs of nil => () | x :: r => let val u = f x in loop r end \
+                 in loop end \
+               fun main () = app (fn x => ()) [1, 2, 3]";
+    let out = pipeline(src, Strategy::Rg);
+    assert_eq!(out.stats.spurious_fns, 0, "stats: {:?}", out.stats);
+}
+
+#[test]
+fn deep_recursion_with_letregions_is_space_safe() {
+    // Each iteration's pair dies within the iteration.
+    assert_rg_pipeline(
+        "fun loop n = if n = 0 then 0 else let val p = (n, n) in loop (#1 p - 1) end \
+         fun main () = loop 50",
+        Value::Int(0),
+    );
+}
+
+#[test]
+fn schemes_are_reported() {
+    let out = pipeline(FIGURE1, Strategy::Rg);
+    assert!(out.schemes.iter().any(|(n, _)| n.as_str() == "compose"));
+    let (_, s) = out
+        .schemes
+        .iter()
+        .find(|(n, _)| n.as_str() == "compose")
+        .unwrap();
+    // compose's scheme has a ∆ with one spurious entry (γ).
+    assert!(!s.delta.is_empty());
+}

@@ -1,0 +1,79 @@
+//! Property tests for the unification store: the transitive-closure
+//! invariant of latent sets must survive arbitrary interleavings of
+//! `union_eps` and `add_atom`.
+
+use proptest::prelude::*;
+use rml_infer::store::{AtomI, Store};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Union(usize, usize),
+    AddRho(usize, usize),
+    AddEps(usize, usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..8, 0usize..8).prop_map(|(a, b)| Op::Union(a, b)),
+            (0usize..8, 0usize..6).prop_map(|(e, r)| Op::AddRho(e, r)),
+            (0usize..8, 0usize..8).prop_map(|(a, b)| Op::AddEps(a, b)),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn latent_sets_stay_transitively_closed(ops in ops()) {
+        let mut st = Store::new();
+        let eps: Vec<_> = (0..8).map(|_| st.fresh_eps()).collect();
+        let rho: Vec<_> = (0..6).map(|_| st.fresh_rho()).collect();
+        for op in &ops {
+            match op {
+                Op::Union(a, b) => st.union_eps(eps[*a], eps[*b]),
+                Op::AddRho(e, r) => st.add_atom(eps[*e], AtomI::Rho(rho[*r])),
+                Op::AddEps(a, b) => st.add_atom(eps[*a], AtomI::Eps(eps[*b])),
+            }
+        }
+        // Invariant: ε' ∈ φ(ε) implies φ(ε') ⊆ φ(ε), and no self loops.
+        for e in &eps {
+            let latent = st.latent_of(*e);
+            let root = st.find_eps(*e);
+            prop_assert!(!latent.contains(&AtomI::Eps(root)), "self loop at {root:?}");
+            for a in &latent {
+                if let AtomI::Eps(inner) = a {
+                    let inner_latent = st.latent_of(*inner);
+                    for x in &inner_latent {
+                        // Transitivity, modulo the no-self-loop filtering.
+                        if *x != AtomI::Eps(root) {
+                            prop_assert!(
+                                latent.contains(x),
+                                "{x:?} ∈ φ({inner:?}) ⊆ φ({root:?}) violated"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_makes_latents_equal(ops in ops(), a in 0usize..8, b in 0usize..8) {
+        let mut st = Store::new();
+        let eps: Vec<_> = (0..8).map(|_| st.fresh_eps()).collect();
+        let rho: Vec<_> = (0..6).map(|_| st.fresh_rho()).collect();
+        for op in &ops {
+            match op {
+                Op::Union(x, y) => st.union_eps(eps[*x], eps[*y]),
+                Op::AddRho(e, r) => st.add_atom(eps[*e], AtomI::Rho(rho[*r])),
+                Op::AddEps(x, y) => st.add_atom(eps[*x], AtomI::Eps(eps[*y])),
+            }
+        }
+        st.union_eps(eps[a], eps[b]);
+        prop_assert_eq!(st.find_eps(eps[a]), st.find_eps(eps[b]));
+        prop_assert_eq!(st.latent_of(eps[a]), st.latent_of(eps[b]));
+    }
+}

@@ -1,0 +1,65 @@
+//! Region-representation analyses (the MLKit phases the paper's Section 4
+//! says the new type system composes with [6, 43]).
+//!
+//! * **Multiplicity analysis** ([`multiplicity`]): classifies every
+//!   `letregion`-bound region as *finite* (at most one allocation per
+//!   lifetime, provably — such regions go on the stack and are never
+//!   collected) or *infinite* (heap pages, subject to tracing collection).
+//! * **Drop analysis** ([`drop_regions`]): finds quantified region
+//!   parameters of `fun` schemes that are never stored into by the body —
+//!   such parameters need not be passed at run time.
+//! * **Allocation statistics** ([`alloc_stats`]): allocation points per
+//!   region and per object kind, used by the benchmark reports.
+//!
+//! # Example
+//!
+//! ```
+//! let prog = rml_syntax::parse_program(
+//!     "fun main () = let val p = (1, 2) in #1 p end").unwrap();
+//! let typed = rml_hm::infer_program(&prog).unwrap();
+//! let out = rml_infer::infer(&typed, Default::default()).unwrap();
+//! let info = rml_repr::analyze(&out.term);
+//! // The pair's region is finite: exactly one allocation, outside loops.
+//! assert!(info.finite.len() >= 1);
+//! ```
+
+pub mod drop_regions;
+pub mod multiplicity;
+pub mod stats;
+pub mod uniform;
+
+pub use drop_regions::droppable_params;
+pub use multiplicity::finite_regions;
+pub use stats::{alloc_stats, AllocStats};
+pub use uniform::{uniform_regions, HomoKind};
+
+use rml_core::terms::Term;
+use rml_core::vars::RegVar;
+use std::collections::{BTreeMap, HashSet};
+
+/// Combined analysis results.
+#[derive(Debug, Clone, Default)]
+pub struct ReprInfo {
+    /// Letregion-bound regions proven finite.
+    pub finite: HashSet<RegVar>,
+    /// Letregion-bound regions considered infinite.
+    pub infinite: HashSet<RegVar>,
+    /// Per-function droppable region parameters: name → (droppable, total).
+    pub droppable: BTreeMap<String, (usize, usize)>,
+    /// Allocation-site statistics.
+    pub allocs: AllocStats,
+    /// Kind-homogeneous regions eligible for untagged representation.
+    pub uniform: std::collections::HashMap<RegVar, HomoKind>,
+}
+
+/// Runs all analyses over a region-annotated program.
+pub fn analyze(term: &Term) -> ReprInfo {
+    let (finite, infinite) = finite_regions(term);
+    ReprInfo {
+        finite,
+        infinite,
+        uniform: uniform_regions(term),
+        droppable: droppable_params(term),
+        allocs: alloc_stats(term),
+    }
+}

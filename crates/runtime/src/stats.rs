@@ -1,0 +1,32 @@
+//! Allocation and collection statistics — the raw material for the
+//! paper's `rss` and `gc #` columns.
+
+/// Heap statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Total bytes ever allocated.
+    pub bytes_allocated: u64,
+    /// Total objects ever allocated.
+    pub objects_allocated: u64,
+    /// Words currently held by live pages.
+    pub live_words: u64,
+    /// Peak of `live_words` — the simulated max-RSS.
+    pub peak_live_words: u64,
+    /// Number of tracing collections performed.
+    pub gc_count: u64,
+    /// Of which minor (generational) collections.
+    pub minor_gc_count: u64,
+    /// Bytes copied by the collector.
+    pub bytes_copied: u64,
+    /// Regions ever created.
+    pub regions_created: u64,
+    /// Peak number of simultaneously live regions.
+    pub peak_regions: u64,
+}
+
+impl HeapStats {
+    /// Peak RSS in bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_live_words * 8
+    }
+}

@@ -1,0 +1,385 @@
+//! Abstract syntax of the source language.
+//!
+//! The surface language is deliberately close to the intermediate language
+//! of the paper's Section 3 (pairs, lambdas, `let`, recursive functions)
+//! extended with the ML features the paper discusses: lists, conditionals,
+//! strings, references, and exceptions with polymorphic argument types
+//! (Section 4.4).
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A whole program: a sequence of top-level declarations.
+///
+/// Programs are run by evaluating declarations in order; if a nullary
+/// function named `main` is declared, drivers call `main ()` afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// A declaration: a value binding, a group of mutually recursive function
+/// bindings, or an exception declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// `val x = e`
+    Val(Symbol, Expr),
+    /// `fun f x1 ... xn = e and g ... = e ...`
+    Fun(Vec<FunBind>),
+    /// `exception E` or `exception E of ty`
+    Exception(Symbol, Option<TyAnn>),
+}
+
+/// One binding of a `fun` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunBind {
+    /// Function name.
+    pub name: Symbol,
+    /// Curried parameters with optional type annotations.
+    pub params: Vec<(Symbol, Option<TyAnn>)>,
+    /// Optional result-type annotation.
+    pub ret: Option<TyAnn>,
+    /// The function body.
+    pub body: Expr,
+}
+
+/// Surface type annotations (`(e : ty)`, parameter and result constraints).
+///
+/// Annotations matter for the paper's Section 4.2 discussion: a direct type
+/// constraint can remove spurious type variables that algorithm W would
+/// otherwise introduce (the `List.app` example).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TyAnn {
+    /// A type variable, e.g. `'a`.
+    Var(Symbol),
+    /// `int`
+    Int,
+    /// `string`
+    String,
+    /// `bool`
+    Bool,
+    /// `unit`
+    Unit,
+    /// `exn`
+    Exn,
+    /// `ty list`
+    List(Box<TyAnn>),
+    /// `ty ref`
+    Ref(Box<TyAnn>),
+    /// `ty1 * ty2`
+    Pair(Box<TyAnn>, Box<TyAnn>),
+    /// `ty1 -> ty2`
+    Arrow(Box<TyAnn>, Box<TyAnn>),
+}
+
+/// Primitive operators and builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Integer addition `+`.
+    Add,
+    /// Integer subtraction `-`.
+    Sub,
+    /// Integer multiplication `*`.
+    Mul,
+    /// Integer division `div`. Traps on division by zero.
+    Div,
+    /// Integer remainder `mod`. Traps on division by zero.
+    Mod,
+    /// Unary integer negation `~`.
+    Neg,
+    /// `<` on integers.
+    Lt,
+    /// `<=` on integers.
+    Le,
+    /// `>` on integers.
+    Gt,
+    /// `>=` on integers.
+    Ge,
+    /// Structural equality `=` (ints, bools, unit, strings).
+    Eq,
+    /// Structural inequality `<>`.
+    Ne,
+    /// Boolean negation `not`.
+    Not,
+    /// String concatenation `^`. Allocates (takes a result region).
+    Concat,
+    /// String length `size`.
+    Size,
+    /// Integer-to-string conversion `itos`. Allocates.
+    Itos,
+    /// `print : string -> unit`.
+    Print,
+    /// `forcegc : unit -> unit` — request a reference-tracing collection
+    /// at the next safe point. Plays the role of the paper's `work ()`.
+    ForceGc,
+}
+
+impl PrimOp {
+    /// Number of operands.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Neg | PrimOp::Not | PrimOp::Size | PrimOp::Itos | PrimOp::Print => 1,
+            PrimOp::ForceGc => 1, // takes unit
+            _ => 2,
+        }
+    }
+
+    /// Whether the operator allocates a boxed result (and therefore needs a
+    /// result region after region inference).
+    pub fn allocates(self) -> bool {
+        matches!(self, PrimOp::Concat | PrimOp::Itos)
+    }
+
+    /// Surface name of the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "div",
+            PrimOp::Mod => "mod",
+            PrimOp::Neg => "~",
+            PrimOp::Lt => "<",
+            PrimOp::Le => "<=",
+            PrimOp::Gt => ">",
+            PrimOp::Ge => ">=",
+            PrimOp::Eq => "=",
+            PrimOp::Ne => "<>",
+            PrimOp::Not => "not",
+            PrimOp::Concat => "^",
+            PrimOp::Size => "size",
+            PrimOp::Itos => "itos",
+            PrimOp::Print => "print",
+            PrimOp::ForceGc => "forcegc",
+        }
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `()`
+    Unit,
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Variable occurrence.
+    Var(Symbol),
+    /// `fn x => e` (optionally `fn (x : ty) => e`).
+    Lam {
+        /// Parameter name.
+        param: Symbol,
+        /// Optional parameter annotation.
+        ann: Option<TyAnn>,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// Application `e1 e2`.
+    App(Box<Expr>, Box<Expr>),
+    /// `let d1 ... dn in e end`.
+    Let {
+        /// The declarations, in order.
+        decls: Vec<Decl>,
+        /// The body.
+        body: Box<Expr>,
+    },
+    /// Pair construction `(e1, e2)`.
+    Pair(Box<Expr>, Box<Expr>),
+    /// Projections `#1 e` / `#2 e` (`index` is 1 or 2).
+    Sel(u8, Box<Expr>),
+    /// `if e1 then e2 else e3`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Primitive application.
+    Prim(PrimOp, Vec<Expr>),
+    /// `nil`.
+    Nil,
+    /// `e1 :: e2`.
+    Cons(Box<Expr>, Box<Expr>),
+    /// `case e of nil => e1 | h :: t => e2`.
+    CaseList {
+        /// Scrutinee.
+        scrut: Box<Expr>,
+        /// The `nil` branch.
+        nil_rhs: Box<Expr>,
+        /// Head binder of the cons branch.
+        head: Symbol,
+        /// Tail binder of the cons branch.
+        tail: Symbol,
+        /// The cons branch.
+        cons_rhs: Box<Expr>,
+    },
+    /// `ref e`.
+    Ref(Box<Expr>),
+    /// `!e`.
+    Deref(Box<Expr>),
+    /// `e1 := e2`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// `(e1; e2)`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// Type-annotated expression `(e : ty)`.
+    Ann(Box<Expr>, TyAnn),
+    /// `raise e` where `e : exn`.
+    Raise(Box<Expr>),
+    /// `e handle E x => e'` — catches exception constructor `E`, binding its
+    /// argument to `x`; other exceptions re-raise.
+    Handle {
+        /// Protected expression.
+        body: Box<Expr>,
+        /// Exception constructor to catch.
+        exn: Symbol,
+        /// Binder for the exception argument.
+        arg: Symbol,
+        /// Handler body.
+        handler: Box<Expr>,
+    },
+    /// Exception-constructor application `E e` where `E` was declared with
+    /// `exception E of ty`. A bare `E` for a nullary exception parses as
+    /// `Con(E, None)`.
+    Con(Symbol, Option<Box<Expr>>),
+}
+
+impl Expr {
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(Symbol::intern(name))
+    }
+
+    /// Convenience constructor for application.
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(Box::new(f), Box::new(a))
+    }
+
+    /// Number of AST nodes, used for `loc`-style size metrics.
+    pub fn size(&self) -> usize {
+        let mut n = 1;
+        self.for_children(|c| n += c.size());
+        n
+    }
+
+    /// Calls `f` on each immediate child expression.
+    pub fn for_children<F: FnMut(&Expr)>(&self, mut f: F) {
+        match self {
+            Expr::Unit
+            | Expr::Int(_)
+            | Expr::Str(_)
+            | Expr::Bool(_)
+            | Expr::Var(_)
+            | Expr::Nil => {}
+            Expr::Lam { body, .. } => f(body),
+            Expr::App(a, b)
+            | Expr::Pair(a, b)
+            | Expr::Cons(a, b)
+            | Expr::Assign(a, b)
+            | Expr::Seq(a, b) => {
+                f(a);
+                f(b);
+            }
+            Expr::Let { decls, body } => {
+                for d in decls {
+                    match d {
+                        Decl::Val(_, e) => f(e),
+                        Decl::Fun(binds) => {
+                            for b in binds {
+                                f(&b.body);
+                            }
+                        }
+                        Decl::Exception(..) => {}
+                    }
+                }
+                f(body);
+            }
+            Expr::Sel(_, e) | Expr::Ref(e) | Expr::Deref(e) | Expr::Ann(e, _) | Expr::Raise(e) => {
+                f(e)
+            }
+            Expr::If(a, b, c) => {
+                f(a);
+                f(b);
+                f(c);
+            }
+            Expr::Prim(_, args) => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Expr::CaseList {
+                scrut,
+                nil_rhs,
+                cons_rhs,
+                ..
+            } => {
+                f(scrut);
+                f(nil_rhs);
+                f(cons_rhs);
+            }
+            Expr::Handle { body, handler, .. } => {
+                f(body);
+                f(handler);
+            }
+            Expr::Con(_, arg) => {
+                if let Some(a) = arg {
+                    f(a);
+                }
+            }
+        }
+    }
+}
+
+impl Program {
+    /// Total number of AST nodes across all declarations.
+    pub fn size(&self) -> usize {
+        self.decls
+            .iter()
+            .map(|d| match d {
+                Decl::Val(_, e) => e.size() + 1,
+                Decl::Fun(bs) => bs.iter().map(|b| b.body.size() + 1).sum(),
+                Decl::Exception(..) => 1,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_arities() {
+        assert_eq!(PrimOp::Add.arity(), 2);
+        assert_eq!(PrimOp::Not.arity(), 1);
+        assert_eq!(PrimOp::Print.arity(), 1);
+    }
+
+    #[test]
+    fn allocating_prims() {
+        assert!(PrimOp::Concat.allocates());
+        assert!(PrimOp::Itos.allocates());
+        assert!(!PrimOp::Add.allocates());
+    }
+
+    #[test]
+    fn expr_size_counts_nodes() {
+        let e = Expr::app(Expr::var("f"), Expr::Int(1));
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn program_size_counts_decls() {
+        let p = Program {
+            decls: vec![
+                Decl::Val(Symbol::intern("x"), Expr::Int(1)),
+                Decl::Exception(Symbol::intern("E"), None),
+            ],
+        };
+        assert_eq!(p.size(), 3);
+    }
+}

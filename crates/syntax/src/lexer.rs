@@ -1,0 +1,550 @@
+//! Lexer for the source language.
+//!
+//! Produces a vector of [`Token`]s with line/column positions. Comments are
+//! SML-style `(* ... *)` and nest.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (also used for type variables without the quote).
+    Ident(String),
+    /// Type variable `'a`.
+    TyVar(String),
+    /// Integer literal (a leading `~` is handled by the parser as negation).
+    Int(i64),
+    /// String literal with escapes resolved.
+    Str(String),
+    // Keywords.
+    Let,
+    Val,
+    Fun,
+    And,
+    In,
+    End,
+    Fn,
+    If,
+    Then,
+    Else,
+    Case,
+    Of,
+    NilKw,
+    Raise,
+    Handle,
+    Exception,
+    Andalso,
+    Orelse,
+    Not,
+    RefKw,
+    True,
+    False,
+    Div,
+    Mod,
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    DArrow,  // =>
+    Arrow,   // ->
+    Equal,   // =
+    NotEqual, // <>
+    Less,
+    LessEq,
+    Greater,
+    GreaterEq,
+    Plus,
+    Minus,
+    Star,
+    Caret,  // ^
+    Cons,   // ::
+    Hash,   // #
+    Bang,   // !
+    Assign, // :=
+    Bar,    // |
+    Colon,  // :
+    Tilde,  // ~
+    Underscore,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::TyVar(s) => write!(f, "'{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Let => write!(f, "let"),
+            Tok::Val => write!(f, "val"),
+            Tok::Fun => write!(f, "fun"),
+            Tok::And => write!(f, "and"),
+            Tok::In => write!(f, "in"),
+            Tok::End => write!(f, "end"),
+            Tok::Fn => write!(f, "fn"),
+            Tok::If => write!(f, "if"),
+            Tok::Then => write!(f, "then"),
+            Tok::Else => write!(f, "else"),
+            Tok::Case => write!(f, "case"),
+            Tok::Of => write!(f, "of"),
+            Tok::NilKw => write!(f, "nil"),
+            Tok::Raise => write!(f, "raise"),
+            Tok::Handle => write!(f, "handle"),
+            Tok::Exception => write!(f, "exception"),
+            Tok::Andalso => write!(f, "andalso"),
+            Tok::Orelse => write!(f, "orelse"),
+            Tok::Not => write!(f, "not"),
+            Tok::RefKw => write!(f, "ref"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+            Tok::Div => write!(f, "div"),
+            Tok::Mod => write!(f, "mod"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::DArrow => write!(f, "=>"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Equal => write!(f, "="),
+            Tok::NotEqual => write!(f, "<>"),
+            Tok::Less => write!(f, "<"),
+            Tok::LessEq => write!(f, "<="),
+            Tok::Greater => write!(f, ">"),
+            Tok::GreaterEq => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Cons => write!(f, "::"),
+            Tok::Hash => write!(f, "#"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Assign => write!(f, ":="),
+            Tok::Bar => write!(f, "|"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::Underscore => write!(f, "_"),
+        }
+    }
+}
+
+/// A token paired with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: lexical error: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            msg: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    let (l, c) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'('), Some(b'*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(b'*'), Some(b')')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LexError {
+                                    msg: "unterminated comment".into(),
+                                    line: l,
+                                    col: c,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn string_lit(&mut self) -> Result<String, LexError> {
+        // Opening quote already consumed.
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'"') => s.push('"'),
+                    Some(c) => return Err(self.err(format!("bad escape \\{}", c as char))),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => s.push(c as char),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed input (unterminated strings or
+/// comments, bad escapes, stray characters).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_ws_and_comments()?;
+        let (line, col) = (lx.line, lx.col);
+        let Some(c) = lx.peek() else { break };
+        let tok = match c {
+            b'0'..=b'9' => {
+                let start = lx.pos;
+                while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    lx.bump();
+                }
+                let text = std::str::from_utf8(&lx.src[start..lx.pos]).unwrap();
+                Tok::Int(
+                    text.parse::<i64>()
+                        .map_err(|_| lx.err(format!("integer literal {text} out of range")))?,
+                )
+            }
+            b'"' => {
+                lx.bump();
+                Tok::Str(lx.string_lit()?)
+            }
+            b'\'' => {
+                lx.bump();
+                let name = lx.ident();
+                if name.is_empty() {
+                    return Err(lx.err("expected type variable name after '"));
+                }
+                Tok::TyVar(name)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let name = lx.ident();
+                match name.as_str() {
+                    "let" => Tok::Let,
+                    "val" => Tok::Val,
+                    "fun" => Tok::Fun,
+                    "and" => Tok::And,
+                    "in" => Tok::In,
+                    "end" => Tok::End,
+                    "fn" => Tok::Fn,
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "else" => Tok::Else,
+                    "case" => Tok::Case,
+                    "of" => Tok::Of,
+                    "nil" => Tok::NilKw,
+                    "raise" => Tok::Raise,
+                    "handle" => Tok::Handle,
+                    "exception" => Tok::Exception,
+                    "andalso" => Tok::Andalso,
+                    "orelse" => Tok::Orelse,
+                    "not" => Tok::Not,
+                    "ref" => Tok::RefKw,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "div" => Tok::Div,
+                    "mod" => Tok::Mod,
+                    "_" => Tok::Underscore,
+                    _ => Tok::Ident(name),
+                }
+            }
+            b'(' => {
+                lx.bump();
+                Tok::LParen
+            }
+            b')' => {
+                lx.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                lx.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                lx.bump();
+                Tok::RBracket
+            }
+            b',' => {
+                lx.bump();
+                Tok::Comma
+            }
+            b';' => {
+                lx.bump();
+                Tok::Semi
+            }
+            b'=' => {
+                lx.bump();
+                if lx.peek() == Some(b'>') {
+                    lx.bump();
+                    Tok::DArrow
+                } else {
+                    Tok::Equal
+                }
+            }
+            b'-' => {
+                lx.bump();
+                if lx.peek() == Some(b'>') {
+                    lx.bump();
+                    Tok::Arrow
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'<' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::LessEq
+                    }
+                    Some(b'>') => {
+                        lx.bump();
+                        Tok::NotEqual
+                    }
+                    _ => Tok::Less,
+                }
+            }
+            b'>' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    Tok::GreaterEq
+                } else {
+                    Tok::Greater
+                }
+            }
+            b'+' => {
+                lx.bump();
+                Tok::Plus
+            }
+            b'*' => {
+                lx.bump();
+                Tok::Star
+            }
+            b'^' => {
+                lx.bump();
+                Tok::Caret
+            }
+            b':' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b':') => {
+                        lx.bump();
+                        Tok::Cons
+                    }
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::Assign
+                    }
+                    _ => Tok::Colon,
+                }
+            }
+            b'#' => {
+                lx.bump();
+                Tok::Hash
+            }
+            b'!' => {
+                lx.bump();
+                Tok::Bang
+            }
+            b'|' => {
+                lx.bump();
+                Tok::Bar
+            }
+            b'~' => {
+                lx.bump();
+                Tok::Tilde
+            }
+            other => return Err(lx.err(format!("unexpected character {:?}", other as char))),
+        };
+        out.push(Token { tok, line, col });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("let val x = fn y => y in x end"),
+            vec![
+                Tok::Let,
+                Tok::Val,
+                Tok::Ident("x".into()),
+                Tok::Equal,
+                Tok::Fn,
+                Tok::Ident("y".into()),
+                Tok::DArrow,
+                Tok::Ident("y".into()),
+                Tok::In,
+                Tok::Ident("x".into()),
+                Tok::End
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks(":: := : <> <= >= => -> = < >"),
+            vec![
+                Tok::Cons,
+                Tok::Assign,
+                Tok::Colon,
+                Tok::NotEqual,
+                Tok::LessEq,
+                Tok::GreaterEq,
+                Tok::DArrow,
+                Tok::Arrow,
+                Tok::Equal,
+                Tok::Less,
+                Tok::Greater
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""oh" ^ "no\n""#),
+            vec![
+                Tok::Str("oh".into()),
+                Tok::Caret,
+                Tok::Str("no\n".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(toks("1 (* a (* b *) c *) 2"), vec![Tok::Int(1), Tok::Int(2)]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn type_variables() {
+        assert_eq!(toks("'a 'b2"), vec![Tok::TyVar("a".into()), Tok::TyVar("b2".into())]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = lex("x\n  y").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+}

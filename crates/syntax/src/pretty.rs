@@ -1,0 +1,360 @@
+//! Pretty-printer for the source language.
+//!
+//! The output re-parses to an equal AST (round-tripping is tested by the
+//! property tests in this module), which makes the printer usable for
+//! golden tests and error messages.
+
+use crate::ast::{Decl, Expr, Program, TyAnn};
+use std::fmt::Write as _;
+
+/// Renders a type annotation.
+pub fn ty_to_string(t: &TyAnn) -> String {
+    fn go(t: &TyAnn, prec: u8, out: &mut String) {
+        match t {
+            TyAnn::Var(v) => {
+                let _ = write!(out, "'{v}");
+            }
+            TyAnn::Int => out.push_str("int"),
+            TyAnn::String => out.push_str("string"),
+            TyAnn::Bool => out.push_str("bool"),
+            TyAnn::Unit => out.push_str("unit"),
+            TyAnn::Exn => out.push_str("exn"),
+            TyAnn::List(e) => {
+                go(e, 3, out);
+                out.push_str(" list");
+            }
+            TyAnn::Ref(e) => {
+                go(e, 3, out);
+                out.push_str(" ref");
+            }
+            TyAnn::Pair(a, b) => {
+                let paren = prec > 1;
+                if paren {
+                    out.push('(');
+                }
+                go(a, 2, out);
+                out.push_str(" * ");
+                go(b, 1, out);
+                if paren {
+                    out.push(')');
+                }
+            }
+            TyAnn::Arrow(a, b) => {
+                let paren = prec > 0;
+                if paren {
+                    out.push('(');
+                }
+                go(a, 1, out);
+                out.push_str(" -> ");
+                go(b, 0, out);
+                if paren {
+                    out.push(')');
+                }
+            }
+        }
+    }
+    let mut s = String::new();
+    go(t, 0, &mut s);
+    s
+}
+
+/// Renders an expression. All compound subexpressions are parenthesised,
+/// which keeps the printer simple and unambiguous.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    go_expr(e, &mut s);
+    s
+}
+
+fn atom(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Unit | Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Var(_) | Expr::Nil
+    )
+}
+
+fn go_atom(e: &Expr, out: &mut String) {
+    if atom(e) {
+        go_expr(e, out);
+    } else {
+        out.push('(');
+        go_expr(e, out);
+        out.push(')');
+    }
+}
+
+fn go_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Unit => out.push_str("()"),
+        Expr::Int(n) => {
+            if *n < 0 {
+                let _ = write!(out, "~{}", -(*n as i128));
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Expr::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Expr::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::Var(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Expr::Lam { param, ann, body } => {
+            match ann {
+                Some(t) => {
+                    let _ = write!(out, "fn ({param} : {}) => ", ty_to_string(t));
+                }
+                None => {
+                    let _ = write!(out, "fn {param} => ");
+                }
+            }
+            go_expr(body, out);
+        }
+        Expr::App(f, a) => {
+            go_atom(f, out);
+            out.push(' ');
+            go_atom(a, out);
+        }
+        Expr::Let { decls, body } => {
+            out.push_str("let ");
+            for d in decls {
+                go_decl(d, out);
+                out.push(' ');
+            }
+            out.push_str("in ");
+            go_expr(body, out);
+            out.push_str(" end");
+        }
+        Expr::Pair(a, b) => {
+            out.push('(');
+            go_expr(a, out);
+            out.push_str(", ");
+            go_expr(b, out);
+            out.push(')');
+        }
+        Expr::Sel(i, e) => {
+            let _ = write!(out, "#{i} ");
+            go_atom(e, out);
+        }
+        Expr::If(c, t, f) => {
+            out.push_str("if ");
+            go_expr(c, out);
+            out.push_str(" then ");
+            go_expr(t, out);
+            out.push_str(" else ");
+            go_expr(f, out);
+        }
+        Expr::Prim(op, args) => match args.len() {
+            1 => match op {
+                crate::ast::PrimOp::Neg => {
+                    out.push_str("~ ");
+                    go_atom(&args[0], out);
+                }
+                crate::ast::PrimOp::Not => {
+                    out.push_str("not ");
+                    go_atom(&args[0], out);
+                }
+                _ => {
+                    let _ = write!(out, "{op} ");
+                    go_atom(&args[0], out);
+                }
+            },
+            2 => {
+                go_atom(&args[0], out);
+                let _ = write!(out, " {op} ");
+                go_atom(&args[1], out);
+            }
+            _ => {
+                let _ = write!(out, "{op}");
+                for a in args {
+                    out.push(' ');
+                    go_atom(a, out);
+                }
+            }
+        },
+        Expr::Nil => out.push_str("nil"),
+        Expr::Cons(h, t) => {
+            go_atom(h, out);
+            out.push_str(" :: ");
+            go_atom(t, out);
+        }
+        Expr::CaseList {
+            scrut,
+            nil_rhs,
+            head,
+            tail,
+            cons_rhs,
+        } => {
+            out.push_str("case ");
+            go_expr(scrut, out);
+            out.push_str(" of nil => ");
+            go_expr(nil_rhs, out);
+            let _ = write!(out, " | {head} :: {tail} => ");
+            go_expr(cons_rhs, out);
+        }
+        Expr::Ref(e) => {
+            out.push_str("ref ");
+            go_atom(e, out);
+        }
+        Expr::Deref(e) => {
+            out.push('!');
+            go_atom(e, out);
+        }
+        Expr::Assign(a, b) => {
+            go_atom(a, out);
+            out.push_str(" := ");
+            go_atom(b, out);
+        }
+        Expr::Seq(a, b) => {
+            out.push('(');
+            go_expr(a, out);
+            out.push_str("; ");
+            go_expr(b, out);
+            out.push(')');
+        }
+        Expr::Ann(e, t) => {
+            out.push('(');
+            go_expr(e, out);
+            let _ = write!(out, " : {})", ty_to_string(t));
+        }
+        Expr::Raise(e) => {
+            out.push_str("raise ");
+            go_atom(e, out);
+        }
+        Expr::Handle {
+            body,
+            exn,
+            arg,
+            handler,
+        } => {
+            go_atom(body, out);
+            let _ = write!(out, " handle {exn} {arg} => ");
+            go_expr(handler, out);
+        }
+        Expr::Con(name, arg) => match arg {
+            None => {
+                let _ = write!(out, "{name}");
+            }
+            Some(a) => {
+                let _ = write!(out, "{name} ");
+                go_atom(a, out);
+            }
+        },
+    }
+}
+
+fn go_decl(d: &Decl, out: &mut String) {
+    match d {
+        Decl::Val(x, e) => {
+            let _ = write!(out, "val {x} = ");
+            go_expr(e, out);
+        }
+        Decl::Fun(binds) => {
+            for (i, b) in binds.iter().enumerate() {
+                out.push_str(if i == 0 { "fun " } else { " and " });
+                let _ = write!(out, "{}", b.name);
+                for (p, ann) in &b.params {
+                    match ann {
+                        Some(TyAnn::Unit) if p.as_str() == "_" => out.push_str(" ()"),
+                        Some(t) => {
+                            let _ = write!(out, " ({p} : {})", ty_to_string(t));
+                        }
+                        None => {
+                            let _ = write!(out, " {p}");
+                        }
+                    }
+                }
+                if let Some(t) = &b.ret {
+                    let _ = write!(out, " : {}", ty_to_string(t));
+                }
+                out.push_str(" = ");
+                go_expr(&b.body, out);
+            }
+        }
+        Decl::Exception(name, arg) => match arg {
+            None => {
+                let _ = write!(out, "exception {name}");
+            }
+            Some(t) => {
+                let _ = write!(out, "exception {name} of {}", ty_to_string(t));
+            }
+        },
+    }
+}
+
+/// Renders a whole program, one declaration per line.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for d in &p.decls {
+        go_decl(d, &mut s);
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = expr_to_string(&e);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        assert_eq!(e, e2, "printed: {printed}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for src in [
+            "1 + 2 * 3",
+            "fn x => x :: [1, 2]",
+            "let val x = (1, \"two\") in #1 x end",
+            "if a < b then ~a else !r",
+            "case xs of nil => 0 | h :: t => h",
+            "(r := 5; !r)",
+            "raise (E \"msg\")",
+            "(f 1) handle E x => x",
+            "let fun f x = f x in f end",
+            "(x : int list)",
+            "\"a\\nb\" ^ \"c\"",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let src = "fun f (x : int) : int = x + 1 and g y = f y\nexception E of string * int\nval main = fn () => g 1\n";
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn ty_printing() {
+        use crate::ast::TyAnn::*;
+        let t = Arrow(
+            Box::new(Pair(Box::new(Int), Box::new(List(Box::new(Var(
+                crate::symbol::Symbol::intern("a"),
+            )))))),
+            Box::new(Unit),
+        );
+        assert_eq!(ty_to_string(&t), "int * 'a list -> unit");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property test: random ASTs survive a print→parse round trip.
+
+use proptest::prelude::*;
+use rml_syntax::ast::{Decl, Expr, PrimOp};
+use rml_syntax::pretty::{expr_to_string, program_to_string};
+use rml_syntax::{parse_expr, parse_program, Program, Symbol};
+
+fn ident() -> impl Strategy<Value = Symbol> {
+    // A small pool so binders and uses hit each other.
+    prop_oneof![
+        Just(Symbol::intern("x")),
+        Just(Symbol::intern("y")),
+        Just(Symbol::intern("f")),
+        Just(Symbol::intern("acc")),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = PrimOp> {
+    prop_oneof![
+        Just(PrimOp::Add),
+        Just(PrimOp::Sub),
+        Just(PrimOp::Mul),
+        Just(PrimOp::Lt),
+        Just(PrimOp::Eq),
+        Just(PrimOp::Concat),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Unit),
+        (-100i64..100).prop_map(Expr::Int),
+        "[a-z ]{0,6}".prop_map(Expr::Str),
+        any::<bool>().prop_map(Expr::Bool),
+        ident().prop_map(Expr::Var),
+        Just(Expr::Nil),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (ident(), inner.clone()).prop_map(|(p, b)| Expr::Lam {
+                param: p,
+                ann: None,
+                body: Box::new(b),
+            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::App(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
+            (1u8..3, inner.clone()).prop_map(|(i, e)| Expr::Sel(i, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| Expr::If(Box::new(c), Box::new(t), Box::new(f))),
+            (binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Prim(op, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(h, t)| Expr::Cons(Box::new(h), Box::new(t))),
+            (inner.clone(), inner.clone(), ident(), ident(), inner.clone()).prop_map(
+                |(s, n, h, t, c)| Expr::CaseList {
+                    scrut: Box::new(s),
+                    nil_rhs: Box::new(n),
+                    head: h,
+                    tail: t,
+                    cons_rhs: Box::new(c),
+                }
+            ),
+            inner.clone().prop_map(|e| Expr::Ref(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Deref(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Assign(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+            (ident(), inner.clone(), inner.clone()).prop_map(|(x, rhs, body)| Expr::Let {
+                decls: vec![Decl::Val(x, rhs)],
+                body: Box::new(body),
+            }),
+            inner.clone().prop_map(|e| Expr::Raise(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(e in expr()) {
+        let printed = expr_to_string(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\nprinted: {printed}"));
+        prop_assert_eq!(e, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn program_roundtrip(e1 in expr(), e2 in expr()) {
+        let p = Program {
+            decls: vec![
+                Decl::Val(Symbol::intern("a"), e1),
+                Decl::Val(Symbol::intern("b"), e2),
+            ],
+        };
+        let printed = program_to_string(&p);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\nprinted: {printed}"));
+        prop_assert_eq!(p, reparsed);
+    }
+}

@@ -1,0 +1,42 @@
+//! Region profiling: the static representation analyses of `rml-repr`
+//! (finite/infinite classification, droppable region parameters) next to
+//! the dynamic region behaviour of a run.
+//!
+//! ```sh
+//! cargo run --example region_profile
+//! ```
+
+use rml::{compile, execute, ExecOpts, Strategy};
+
+fn main() {
+    let src = r#"
+        fun double xs = case xs of nil => nil | h :: t => (2 * h) :: double t
+        fun sum xs = case xs of nil => 0 | h :: t => h + sum t
+        fun upto n = if n = 0 then nil else n :: upto (n - 1)
+        fun main () =
+          let val scratch = (1, 2)                 (* dies immediately: finite *)
+              val data = double (upto 500)         (* list spine: infinite *)
+          in sum data + #1 scratch end
+    "#;
+    let c = compile(src, Strategy::Rg).expect("compile");
+
+    println!("== static region representation (rml-repr) ==");
+    println!("  finite regions   : {}", c.repr.finite.len());
+    println!("  infinite regions : {}", c.repr.infinite.len());
+    println!("  letregion nodes  : {}", c.repr.allocs.letregions);
+    println!("  allocation sites : {}", c.repr.allocs.alloc_sites);
+    println!("  region apps      : {}", c.repr.allocs.region_apps);
+    println!("  droppable region parameters per function:");
+    for (f, (droppable, total)) in &c.repr.droppable {
+        println!("    {f:<10} {droppable}/{total}");
+    }
+
+    let out = execute(&c, &ExecOpts::default()).expect("run");
+    println!("\n== dynamic behaviour ==");
+    println!("  result            : {}", out.value);
+    println!("  regions created   : {}", out.stats.regions_created);
+    println!("  peak live regions : {}", out.stats.peak_regions);
+    println!("  bytes allocated   : {}", out.stats.bytes_allocated);
+    println!("  peak RSS          : {} bytes", out.stats.peak_bytes());
+    println!("  collections       : {}", out.stats.gc_count);
+}

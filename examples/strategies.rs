@@ -1,0 +1,49 @@
+//! Compares the paper's compilation strategies on one benchmark: `rg`
+//! (regions + GC, this paper), `rg-` (regions + GC without spurious type
+//! variables — unsound in general), `r` (regions only), and the
+//! regionless tracing-GC baseline.
+//!
+//! ```sh
+//! cargo run --release --example strategies [program]
+//! ```
+
+use rml::{compile_with_basis, execute, programs, ExecOpts, Strategy};
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "msort".into());
+    let prog = programs::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown program `{name}`; try one of {:?}",
+            programs::suite().iter().map(|p| p.name).collect::<Vec<_>>()));
+    println!("benchmark `{}` ({} loc)\n", prog.name, prog.loc());
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>8} {:>9}",
+        "strategy", "time", "alloc", "peak rss", "gc #", "regions"
+    );
+    let mut rows: Vec<(&str, Strategy, bool)> = vec![
+        ("rg", Strategy::Rg, false),
+        ("rg-", Strategy::RgMinus, false),
+        ("r", Strategy::R, false),
+        ("baseline", Strategy::Rg, true),
+    ];
+    for (label, strategy, baseline) in rows.drain(..) {
+        let c = compile_with_basis(prog.source, strategy).expect("compile");
+        let opts = ExecOpts {
+            baseline,
+            ..ExecOpts::default()
+        };
+        let t0 = Instant::now();
+        match execute(&c, &opts) {
+            Ok(out) => println!(
+                "{:<10} {:>8.2?} {:>11}B {:>11}B {:>8} {:>9}",
+                label,
+                t0.elapsed(),
+                out.stats.bytes_allocated,
+                out.stats.peak_bytes(),
+                out.stats.gc_count,
+                out.stats.regions_created,
+            ),
+            Err(e) => println!("{label:<10} CRASH: {e}"),
+        }
+    }
+}

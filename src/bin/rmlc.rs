@@ -1,0 +1,115 @@
+//! `rmlc` — the command-line driver: compile and run `.rml` programs.
+//!
+//! ```sh
+//! rmlc [options] <file.rml>
+//!   --strategy rg|rg-|r     compilation strategy (default rg)
+//!   --baseline              run on the regionless tracing-GC machine
+//!   --no-basis              do not prepend the basis library
+//!   --print-term            print the region-annotated program
+//!   --print-schemes         print the inferred region type schemes
+//!   --check                 validate against the Figure 4 typing rules
+//!   --stats                 print allocation/GC statistics
+//!   -e <expr>               compile `fun main () = <expr>` instead of a file
+//! ```
+
+use rml::{check, compile, compile_with_basis, execute, ExecOpts, Strategy};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rmlc [--strategy rg|rg-|r] [--baseline] [--no-basis] \
+         [--print-term] [--print-schemes] [--check] [--stats] (<file.rml> | -e <expr>)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut strategy = Strategy::Rg;
+    let mut baseline = false;
+    let mut use_basis = true;
+    let mut print_term = false;
+    let mut print_schemes = false;
+    let mut do_check = false;
+    let mut stats = false;
+    let mut file: Option<String> = None;
+    let mut expr: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--strategy" => {
+                strategy = match args.next().as_deref() {
+                    Some("rg") => Strategy::Rg,
+                    Some("rg-") => Strategy::RgMinus,
+                    Some("r") => Strategy::R,
+                    _ => usage(),
+                }
+            }
+            "--baseline" => baseline = true,
+            "--no-basis" => use_basis = false,
+            "--print-term" => print_term = true,
+            "--print-schemes" => print_schemes = true,
+            "--check" => do_check = true,
+            "--stats" => stats = true,
+            "-e" => expr = Some(args.next().unwrap_or_else(|| usage())),
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => usage(),
+        }
+    }
+    let src = match (file, expr) {
+        (Some(f), None) => std::fs::read_to_string(&f).unwrap_or_else(|e| {
+            eprintln!("rmlc: cannot read {f}: {e}");
+            std::process::exit(1)
+        }),
+        (None, Some(e)) => format!("fun main () = {e}"),
+        _ => usage(),
+    };
+    let compiled = (if use_basis {
+        compile_with_basis(&src, strategy)
+    } else {
+        compile(&src, strategy)
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("rmlc: {e}");
+        std::process::exit(1)
+    });
+    if print_schemes {
+        for (name, scheme) in &compiled.output.schemes {
+            println!("{name} : {}", rml_core::pretty::scheme_to_string(scheme));
+        }
+    }
+    if print_term {
+        println!("{}", rml_core::pretty::term_to_string(&compiled.output.term));
+    }
+    if do_check {
+        match check(&compiled) {
+            Ok(()) => eprintln!("rmlc: Figure 4 check passed"),
+            Err(e) => {
+                eprintln!("rmlc: Figure 4 check FAILED: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+    let opts = ExecOpts {
+        baseline,
+        ..ExecOpts::default()
+    };
+    match execute(&compiled, &opts) {
+        Ok(out) => {
+            print!("{}", out.output);
+            println!("{}", out.value);
+            if stats {
+                eprintln!(
+                    "steps {}  alloc {}B  peak {}B  regions {}  gc {}",
+                    out.steps,
+                    out.stats.bytes_allocated,
+                    out.stats.peak_bytes(),
+                    out.stats.regions_created,
+                    out.stats.gc_count
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("rmlc: runtime error: {e}");
+            std::process::exit(1)
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The compilation pipeline: parse → type → region-infer → analyse →
+//! execute.
+
+use rml_eval::{GcPolicy, RunError, RunOutcome, RunOpts};
+use rml_infer::{Options, SpuriousStyle, Strategy};
+use rml_repr::ReprInfo;
+use std::fmt;
+
+/// A compiled program.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The source, as compiled (including any prepended basis).
+    pub source: String,
+    /// The typed AST.
+    pub typed: rml_hm::TProgram,
+    /// Region inference output (term, exceptions, statistics, schemes).
+    pub output: rml_infer::Output,
+    /// Representation analyses.
+    pub repr: ReprInfo,
+    /// The strategy used.
+    pub strategy: Strategy,
+}
+
+/// A compilation error from any stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexing/parsing.
+    Parse(String),
+    /// Hindley–Milner typing.
+    Type(String),
+    /// Region inference.
+    Region(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(m) => write!(f, "parse error: {m}"),
+            CompileError::Type(m) => write!(f, "{m}"),
+            CompileError::Region(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a source program under a strategy.
+///
+/// # Errors
+///
+/// Returns the first stage error encountered.
+pub fn compile(src: &str, strategy: Strategy) -> Result<Compiled, CompileError> {
+    compile_opts(src, strategy, SpuriousStyle::default())
+}
+
+/// Compiles with an explicit spurious-variable style (the scheme (2) vs
+/// scheme (3) choice of the paper's Section 2).
+pub fn compile_opts(
+    src: &str,
+    strategy: Strategy,
+    style: SpuriousStyle,
+) -> Result<Compiled, CompileError> {
+    let prog =
+        rml_syntax::parse_program(src).map_err(|e| CompileError::Parse(e.to_string()))?;
+    let typed =
+        rml_hm::infer_program(&prog).map_err(|e| CompileError::Type(e.to_string()))?;
+    let output = rml_infer::infer(&typed, Options { strategy, style })
+        .map_err(|e| CompileError::Region(e.to_string()))?;
+    let repr = rml_repr::analyze(&output.term);
+    Ok(Compiled {
+        source: src.to_string(),
+        typed,
+        output,
+        repr,
+        strategy,
+    })
+}
+
+/// Compiles with the basis library prepended (see [`crate::basis`]).
+///
+/// # Errors
+///
+/// As [`compile`].
+pub fn compile_with_basis(src: &str, strategy: Strategy) -> Result<Compiled, CompileError> {
+    let full = format!("{}\n{}", crate::basis::BASIS, src);
+    compile(&full, strategy)
+}
+
+/// Validates a compiled program against the paper's typing rules
+/// (Figure 4), with the GC-safety mode matching the compilation strategy.
+///
+/// # Errors
+///
+/// Returns the checker's description of the first violated rule — for
+/// `rg` output this indicates a bug; for `rg-` output on problematic
+/// programs it is the expected detection of the soundness hole.
+pub fn check(c: &Compiled) -> Result<(), String> {
+    let gc = match c.strategy {
+        Strategy::Rg => rml_core::typing::GcCheck::Full,
+        Strategy::RgMinus => rml_core::typing::GcCheck::NoTyVars,
+        Strategy::R => rml_core::typing::GcCheck::Off,
+    };
+    let checker = rml_core::Checker {
+        exns: c.output.exns.clone(),
+        gc,
+        store: vec![],
+    };
+    checker
+        .check(&rml_core::TypeEnv::default(), &c.output.term)
+        .map(|_| ())
+}
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOpts {
+    /// GC policy; `None` picks the strategy default (`Off` for `r`, on
+    /// otherwise).
+    pub gc: Option<GcPolicy>,
+    /// Run the regionless baseline machine instead.
+    pub baseline: bool,
+    /// Use the finite-region classification from `rml-repr`.
+    pub use_finite_regions: bool,
+    /// Use the partly tag-free (untagged pairs/refs/cons) representation
+    /// for kind-homogeneous regions (paper Section 6).
+    pub tag_free: bool,
+    /// Step limit.
+    pub fuel: u64,
+}
+
+impl Default for ExecOpts {
+    fn default() -> ExecOpts {
+        ExecOpts {
+            gc: None,
+            baseline: false,
+            use_finite_regions: true,
+            tag_free: true,
+            fuel: u64::MAX,
+        }
+    }
+}
+
+/// Executes a compiled program on the region heap.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] — in particular `Dangling` when the collector
+/// meets a dangling pointer (strategy `rg-` on the paper's programs).
+pub fn execute(c: &Compiled, opts: &ExecOpts) -> Result<RunOutcome, RunError> {
+    let mut ro = if opts.baseline {
+        RunOpts::baseline(c.output.global)
+    } else {
+        RunOpts::new(c.output.global)
+    };
+    ro.gc = opts.gc.unwrap_or(match c.strategy {
+        Strategy::R => GcPolicy::Off,
+        _ => GcPolicy::default_on(),
+    });
+    if opts.use_finite_regions && !opts.baseline {
+        ro.finite = c.repr.finite.clone();
+    }
+    if opts.tag_free && !opts.baseline {
+        ro.uniform = c
+            .repr
+            .uniform
+            .iter()
+            .map(|(rv, k)| {
+                let uk = match k {
+                    rml_repr::HomoKind::Pair => rml_runtime::UniformKind::Pair,
+                    rml_repr::HomoKind::Cons => rml_runtime::UniformKind::Cons,
+                    rml_repr::HomoKind::Ref => rml_runtime::UniformKind::Ref,
+                };
+                (*rv, uk)
+            })
+            .collect();
+    }
+    ro.fuel = opts.fuel;
+    rml_eval::run(&c.output.term, &ro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rml_eval::RunValue;
+
+    #[test]
+    fn end_to_end() {
+        let c = compile("fun main () = 1 + 2", Strategy::Rg).unwrap();
+        check(&c).unwrap();
+        let out = execute(&c, &ExecOpts::default()).unwrap();
+        assert_eq!(out.value, RunValue::Int(3));
+    }
+
+    #[test]
+    fn errors_are_reported_per_stage() {
+        assert!(matches!(
+            compile("val = ", Strategy::Rg),
+            Err(CompileError::Parse(_))
+        ));
+        assert!(matches!(
+            compile("val x = 1 + \"two\"", Strategy::Rg),
+            Err(CompileError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn basis_compiles_under_all_strategies() {
+        for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
+            let c = compile_with_basis("fun main () = length [1, 2, 3]", s).unwrap();
+            let out = execute(&c, &ExecOpts::default()).unwrap();
+            assert_eq!(out.value, RunValue::Int(3));
+        }
+    }
+}

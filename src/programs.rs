@@ -1,0 +1,405 @@
+//! The benchmark program suite — analogues of the paper's Figure 9
+//! benchmarks, written in the object language.
+//!
+//! The paper's suite are Standard ML programs (fib37, tak, life, msort,
+//! mandelbrot, zebra, logic, …). We reproduce the same *spectrum of memory
+//! behaviours* with integer-based analogues: pure stack programs (fib,
+//! tak, mandelbrot), region-friendly allocators (msort, ratio, strings),
+//! GC-essential workloads with long-lived shared structures (life, logic,
+//! queens, perm), and spurious-function-heavy higher-order code (compose).
+//! Trees are encoded with lists (the language has built-in lists but no
+//! user datatypes); floating point is replaced by fixed-point integers.
+//! These substitutions are documented in `DESIGN.md`.
+
+use rml_eval::RunValue;
+
+/// A benchmark program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Short name (Figure 9's first column).
+    pub name: &'static str,
+    /// Source (without the basis; compile with
+    /// [`crate::compile_with_basis`]).
+    pub source: &'static str,
+    /// Expected result, when independently known (used for validation);
+    /// `None` means the harness only checks cross-strategy agreement.
+    pub expected: Option<RunValue>,
+}
+
+impl Program {
+    /// Lines of code of the program (excluding basis), Figure 9's `loc`.
+    pub fn loc(&self) -> usize {
+        self.source
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+}
+
+/// The suite, in table order.
+pub fn suite() -> Vec<Program> {
+    vec![
+        Program {
+            name: "fib",
+            source: r#"
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+fun main () = fib 22
+"#,
+            expected: Some(RunValue::Int(17711)),
+        },
+        Program {
+            name: "tak",
+            source: r#"
+fun tak (x, y, z) =
+  if y < x
+  then tak (tak (x - 1, y, z), tak (y - 1, z, x), tak (z - 1, x, y))
+  else z
+fun main () = tak (14, 7, 0)
+"#,
+            expected: Some(RunValue::Int(7)),
+        },
+        Program {
+            name: "mandelbrot",
+            source: r#"
+(* Fixed-point mandelbrot: 4096 = 1.0; count points that stay bounded. *)
+fun step (cr, ci) (zr, zi) n =
+  if n = 0 then 1
+  else
+    let val zr2 = zr * zr div 4096
+        val zi2 = zi * zi div 4096
+    in if zr2 + zi2 > 16384 then 0
+       else step (cr, ci) (zr2 - zi2 + cr, 2 * zr * zi div 4096 + ci) (n - 1)
+    end
+fun row y x acc =
+  if x > 29 then acc
+  else row y (x + 1) (acc + step (x * 256 - 8192, y * 256 - 4096) (0, 0) 30)
+fun grid y acc = if y > 29 then acc else grid (y + 1) (row y 0 acc)
+fun main () = grid 0 0
+"#,
+            expected: None,
+        },
+        Program {
+            name: "msort",
+            source: r#"
+fun split xs =
+  case xs of
+    nil => (nil, nil)
+  | x :: rest =>
+      (case rest of
+         nil => ([x], nil)
+       | y :: t => let val p = split t in (x :: #1 p, y :: #2 p) end)
+fun merge (xs, ys) =
+  case xs of
+    nil => ys
+  | x :: xt =>
+      (case ys of
+         nil => xs
+       | y :: yt => if x <= y then x :: merge (xt, ys) else y :: merge (xs, yt))
+fun msort xs =
+  case xs of
+    nil => nil
+  | x :: rest =>
+      (case rest of
+         nil => xs
+       | y :: t => let val p = split xs in merge (msort (#1 p), msort (#2 p)) end)
+fun lcg (seed, n) = if n = 0 then nil else seed mod 1000 :: lcg ((seed * 1103515245 + 12345) mod 2147483647, n - 1)
+fun main () = sum (take (msort (lcg (42, 400)), 10))
+"#,
+            expected: None,
+        },
+        Program {
+            name: "msort-rf",
+            source: r#"
+(* Region-friendly merge sort: bottom-up over an accumulator of runs. *)
+fun merge (xs, ys) =
+  case xs of
+    nil => ys
+  | x :: xt =>
+      (case ys of
+         nil => xs
+       | y :: yt => if x <= y then x :: merge (xt, ys) else y :: merge (xs, yt))
+fun pairs runs =
+  case runs of
+    nil => nil
+  | a :: rest =>
+      (case rest of
+         nil => [a]
+       | b :: t => merge (a, b) :: pairs t)
+fun mergeall runs =
+  case runs of
+    nil => nil
+  | a :: rest => (case rest of nil => a | b :: t => mergeall (pairs runs))
+fun lcg (seed, n) = if n = 0 then nil else seed mod 1000 :: lcg ((seed * 1103515245 + 12345) mod 2147483647, n - 1)
+fun main () = sum (take (mergeall (map (fn x => [x]) (lcg (42, 400))), 10))
+"#,
+            expected: None,
+        },
+        Program {
+            name: "life",
+            source: r#"
+(* Conway's life on a set of live cells; the glider returns to itself. *)
+fun cell (x, y) = x * 1000 + y
+fun neighbours (x, y) =
+  [(x-1, y-1), (x, y-1), (x+1, y-1), (x-1, y), (x+1, y), (x-1, y+1), (x, y+1), (x+1, y+1)]
+fun occupied board c = member (cell c, map cell board)
+fun count board cs =
+  case cs of nil => 0 | c :: t => (if occupied board c then 1 else 0) + count board t
+fun survives board c = let val n = count board (neighbours c) in n = 2 orelse n = 3 end
+fun births board c = count board (neighbours c) = 3
+fun dedup cs =
+  case cs of
+    nil => nil
+  | c :: t => if member (cell c, map cell t) then dedup t else c :: dedup t
+fun gen board =
+  let val keep = filter (survives board) board
+      val cand = dedup (foldl (fn (c, acc) => append (neighbours c, acc)) nil board)
+      val born = filter (fn c => births board c andalso not (occupied board c)) cand
+  in append (keep, born) end
+fun iterate n board = if n = 0 then board else iterate (n - 1) (gen board)
+fun main () = length (iterate 8 [(1, 0), (2, 1), (0, 2), (1, 2), (2, 2)])
+"#,
+            expected: Some(RunValue::Int(5)),
+        },
+        Program {
+            name: "queens",
+            source: r#"
+fun safe (col, dist) rest =
+  case rest of
+    nil => true
+  | q :: t => q <> col andalso abs (q - col) <> dist andalso safe (col, dist + 1) t
+fun place n k rest =
+  if k = 0 then 1
+  else
+    let fun try col acc =
+          if col > n then acc
+          else try (col + 1)
+            (acc + (if safe (col, 1) rest then place n (k - 1) (col :: rest) else 0))
+    in try 1 0 end
+fun main () = place 6 6 nil
+"#,
+            expected: Some(RunValue::Int(4)),
+        },
+        Program {
+            name: "logic",
+            source: r#"
+(* Brute-force SAT: CNF clauses over 10 variables; literal v>0 means var
+   v, v<0 means its negation. Counts satisfying assignments. *)
+fun lit_true assign l =
+  if l > 0 then (assign div pow (2, l - 1)) mod 2 = 1
+  else (assign div pow (2, (0 - l) - 1)) mod 2 = 0
+fun clause_true assign c = exists (lit_true assign) c
+fun sat assign f = all (clause_true assign) f
+fun count f a limit =
+  if a = limit then 0 else (if sat a f then 1 else 0) + count f (a + 1) limit
+fun main () =
+  let val f = [[1, 2], [~1, 3], [~2, ~3], [4, ~5], [5, 6], [~6, ~4], [7, 8, 9], [~9, 10], [~10, ~7]]
+  in count f 0 1024 end
+"#,
+            expected: None,
+        },
+        Program {
+            name: "perm",
+            source: r#"
+(* Derangement count via permutation search (the zebra puzzle's engine). *)
+fun insertions x xs =
+  case xs of
+    nil => [[x]]
+  | h :: t => (x :: xs) :: map (fn rest => h :: rest) (insertions x t)
+fun perms xs =
+  case xs of
+    nil => [nil]
+  | h :: t => foldl (fn (p, acc) => append (insertions h p, acc)) nil (perms t)
+fun deranged p =
+  let fun go i rest = case rest of nil => true | h :: t => h <> i andalso go (i + 1) t
+  in go 1 p end
+fun main () = length (filter deranged (perms (upto (1, 7))))
+"#,
+            expected: Some(RunValue::Int(1854)),
+        },
+        Program {
+            name: "ratio",
+            source: r#"
+(* Exact rational arithmetic with pairs: partial sums of the harmonic
+   series, reduced by gcd at every step. *)
+fun gcd (a, b) = if b = 0 then a else gcd (b, a mod b)
+fun reduce (n, d) = let val g = gcd (abs n, abs d) in (n div g, d div g) end
+fun radd (r1, r2) = reduce (#1 r1 * #2 r2 + #1 r2 * #2 r1, #2 r1 * #2 r2)
+fun harmonic k acc = if k = 0 then acc else harmonic (k - 1) (radd (acc, (1, k)))
+fun main () = let val r = harmonic 12 (0, 1) in #1 r + #2 r end
+"#,
+            expected: None,
+        },
+        Program {
+            name: "strings",
+            source: r#"
+fun build n = if n = 0 then "" else build (n - 1) ^ itos n ^ ";"
+fun repeat s n = if n = 0 then "" else s ^ repeat s (n - 1)
+fun main () = size (build 120) + size (repeat "ab" 50)
+"#,
+            expected: None,
+        },
+        Program {
+            name: "compose",
+            source: r#"
+(* Spurious-function stress: long chains built with a locally defined
+   composition combinator (the paper's problematic o). *)
+fun mycomp (f, g) = fn x => f (g x)
+fun chain n f = if n = 0 then f else chain (n - 1) (mycomp (f, fn x => x + 1))
+fun main () =
+  let val f = chain 60 (fn x => x)
+      val g = mycomp (mycomp (f, f), f)
+  in g 0 end
+"#,
+            expected: Some(RunValue::Int(180)),
+        },
+        Program {
+            name: "matrix",
+            source: r#"
+(* Integer matrix multiply on lists of rows; returns the trace. *)
+fun row_of i n = tabulate n (fn j => (i + 1) * (j + 2) mod 17)
+fun mk n = tabulate n (fn i => row_of i n)
+fun col m j = map (fn row => nth (row, j)) m
+fun dot (xs, ys) = sum (map (fn p => #1 p * #2 p) (zip (xs, ys)))
+fun mul (a, b) =
+  let val n = length a
+  in map (fn row => tabulate n (fn j => dot (row, col b j))) a end
+fun trace m = let fun go i rows = case rows of nil => 0 | r :: t => nth (r, i) + go (i + 1) t in go 0 m end
+fun main () = trace (mul (mk 12, mk 12))
+"#,
+            expected: None,
+        },
+        Program {
+            name: "tsp",
+            source: r#"
+(* Greedy nearest-neighbour tour over integer coordinates. *)
+fun dist (a, b) = (#1 a - #1 b) * (#1 a - #1 b) + (#2 a - #2 b) * (#2 a - #2 b)
+fun nearest from cities best bestd =
+  case cities of
+    nil => best
+  | c :: t => if dist (from, c) < bestd then nearest from t c (dist (from, c)) else nearest from t best bestd
+fun remove c cities = filter (fn x => #1 x <> #1 c orelse #2 x <> #2 c) cities
+fun tour from cities acc =
+  case cities of
+    nil => acc
+  | c :: t =>
+      let val nxt = nearest from cities c (dist (from, c)) in
+        tour nxt (remove nxt cities) (acc + dist (from, nxt))
+      end
+fun city i = ((i * 37) mod 100, (i * 73) mod 100)
+fun main () = tour (0, 0) (tabulate 40 city) 0
+"#,
+            expected: None,
+        },
+        Program {
+            name: "sieve",
+            source: r#"
+fun sieve xs =
+  case xs of
+    nil => nil
+  | p :: t => p :: sieve (filter (fn x => x mod p <> 0) t)
+fun main () = length (sieve (upto (2, 300)))
+"#,
+            expected: Some(RunValue::Int(62)),
+        },
+        Program {
+            name: "mpuz",
+            source: r#"
+(* Digit-assignment puzzle (the mpuz benchmark's flavour): count pairs
+   (ab, c) where a 2-digit number times a digit gives a 3-digit number
+   whose digits sum to the multiplier. *)
+fun digitsum n = if n = 0 then 0 else n mod 10 + digitsum (n div 10)
+fun inner ab c acc =
+  if c > 9 then acc
+  else
+    let val p = ab * c
+    in inner ab (c + 1)
+         (acc + (if p >= 100 andalso p < 1000 andalso digitsum p = c then 1 else 0))
+    end
+fun outer ab acc = if ab > 99 then acc else outer (ab + 1) (inner ab 1 acc)
+fun main () = outer 10 0
+"#,
+            expected: None,
+        },
+        Program {
+            name: "dlx",
+            source: r#"
+(* A tiny machine interpreter (the DLX benchmark's flavour): programs are
+   lists of (opcode, operand) pairs over an accumulator; opcode 0 adds,
+   1 multiplies, 2 subtracts, 3 halts. *)
+fun nth_pair (ps, n) =
+  case ps of nil => (3, 0) | p :: t => if n = 0 then p else nth_pair (t, n - 1)
+fun fetch (prog, pc) = nth_pair (prog, pc)
+fun step prog pc acc fuel =
+  if fuel = 0 then acc
+  else
+    let val ins = fetch (prog, pc)
+        val op1 = #1 ins
+        val arg = #2 ins
+    in if op1 = 0 then step prog (pc + 1) (acc + arg) (fuel - 1)
+       else if op1 = 1 then step prog (pc + 1) (acc * arg) (fuel - 1)
+       else if op1 = 2 then step prog (pc + 1) (acc - arg) (fuel - 1)
+       else acc
+    end
+fun run_once seed =
+  step [(0, seed), (1, 3), (2, 7), (0, 11), (1, 2), (3, 0)] 0 0 6
+fun loop n acc = if n = 0 then acc else loop (n - 1) (acc + run_once (n mod 13))
+fun main () = loop 2000 0
+"#,
+            expected: None,
+        },
+        Program {
+            name: "exceptions",
+            source: r#"
+(* Exception-heavy search (Section 4.4's machinery under load). *)
+exception Found of int
+fun look xs k =
+  case xs of
+    nil => 0
+  | h :: t => if h mod 97 = k then raise (Found h) else look t k
+fun probe k = (look (upto (1, 400)) k) handle Found n => n
+fun main () = sum (map probe (upto (0, 60)))
+"#,
+            expected: None,
+        },
+    ]
+}
+
+/// Looks a program up by name.
+pub fn by_name(name: &str) -> Option<Program> {
+    suite().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_with_basis, execute, ExecOpts, Strategy};
+
+    #[test]
+    fn all_programs_compile_and_agree_across_strategies() {
+        for p in suite() {
+            let mut results = Vec::new();
+            for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
+                let c = compile_with_basis(p.source, s)
+                    .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+                let out = execute(&c, &ExecOpts::default())
+                    .unwrap_or_else(|e| panic!("{} [{s:?}]: {e}", p.name));
+                results.push(out.value);
+            }
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "{}: strategies disagree: {results:?}",
+                p.name
+            );
+            if let Some(exp) = &p.expected {
+                assert_eq!(&results[0], exp, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn loc_is_positive() {
+        for p in suite() {
+            assert!(p.loc() > 0, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! E5: the paper's Section 4.2 claim — "the MLKit implementation of the
+//! entire Standard ML Basis Library contains only three spurious
+//! functions, which include the top-level composition function `o` and the
+//! functions `Option.compose` and `Option.mapPartial`".
+//!
+//! Our basis (`rml::basis`) mirrors that fragment; region inference must
+//! find exactly the three analogous spurious functions.
+
+use rml::{compile, Strategy};
+
+#[test]
+fn exactly_three_spurious_functions_in_the_basis() {
+    let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
+    let names = &c.output.stats.spurious_fn_names;
+    assert_eq!(
+        c.output.stats.spurious_fns, 3,
+        "spurious functions: {names:?}"
+    );
+    for expected in ["o", "opt_compose", "opt_mapPartial"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "`{expected}` should be spurious; got {names:?}"
+        );
+    }
+}
+
+#[test]
+fn basis_type_checks_under_the_full_g_relation() {
+    let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
+    rml::check(&c).unwrap();
+}
+
+#[test]
+fn basis_fcns_ratio_reported() {
+    // Figure 9's `fcns` column is "spurious functions / total functions".
+    let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
+    assert!(c.output.stats.total_fns > 20);
+    assert!(c.output.stats.spurious_fns <= c.output.stats.total_fns);
+}
+
+#[test]
+fn annotation_removes_spuriousness_as_in_section_4_2() {
+    // The List.app example: the unannotated helper version is spurious,
+    // the annotated one is not.
+    let spurious = "fun app f = \
+        let fun loop xs = case xs of nil => () | x :: r => let val u = f x in loop r end \
+        in loop end";
+    let clean = "fun app (f : 'a -> unit) = \
+        let fun loop xs = case xs of nil => () | x :: r => let val u = f x in loop r end \
+        in loop end";
+    let cs = compile(spurious, Strategy::Rg).unwrap();
+    let cc = compile(clean, Strategy::Rg).unwrap();
+    assert_eq!(cs.output.stats.spurious_fns, 1, "{:?}", cs.output.stats);
+    assert_eq!(cc.output.stats.spurious_fns, 0, "{:?}", cc.output.stats);
+}
