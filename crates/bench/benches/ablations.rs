@@ -23,9 +23,7 @@ fn bench_spurious_style(c: &mut Criterion) {
     ] {
         let full = format!("{}\n{}", rml::basis::BASIS, p.source);
         group.bench_function(label, |b| {
-            b.iter(|| {
-                rml::pipeline::compile_opts(&full, Strategy::Rg, style).expect("compile")
-            })
+            b.iter(|| rml::pipeline::compile_opts(&full, Strategy::Rg, style).expect("compile"))
         });
     }
     group.finish();

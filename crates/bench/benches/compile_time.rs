@@ -11,10 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rml::{compile_with_basis, Strategy};
 
 fn bench_compile(c: &mut Criterion) {
-    let sources: Vec<&'static str> = rml::programs::suite()
-        .iter()
-        .map(|p| p.source)
-        .collect();
+    let sources: Vec<&'static str> = rml::programs::suite().iter().map(|p| p.source).collect();
     let mut group = c.benchmark_group("compile_suite");
     group.sample_size(10);
     for (label, strategy) in [

@@ -9,6 +9,11 @@
 //! instantiated at boxed types / total instantiations), `diff` (whether
 //! the spurious machinery changed the generated code), wall-clock time
 //! per strategy, peak memory (`rss`), and collection counts (`gc`).
+//!
+//! Besides the rendered table on stdout, the run writes
+//! `BENCH_figure9.json` to the current directory: the same rows in
+//! machine-readable form (per-program compile time plus per-strategy run
+//! time, steps, allocation, peak bytes, and gc counts).
 
 fn main() {
     let repeats = std::env::args()
@@ -16,6 +21,23 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     eprintln!("running the Figure 9 suite (best of {repeats})...");
+    let t0 = std::time::Instant::now();
     let rows = rml_bench::figure9(repeats);
+    let wall = t0.elapsed();
     println!("{}", rml_bench::render(&rows));
+    let compile_ms: f64 = rows
+        .iter()
+        .map(|r| r.compile_time.as_secs_f64() * 1000.0)
+        .sum();
+    eprintln!(
+        "suite wall time {:.1}ms ({} compilations, {:.1}ms compiling)",
+        wall.as_secs_f64() * 1000.0,
+        rml::compile_count(),
+        compile_ms,
+    );
+    let json = rml_bench::to_json(&rows);
+    match std::fs::write("BENCH_figure9.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_figure9.json"),
+        Err(e) => eprintln!("could not write BENCH_figure9.json: {e}"),
+    }
 }

@@ -7,8 +7,17 @@
 //! `rg-`, `r`, plus the regionless `baseline` standing in for MLton) —
 //! execution time, machine steps, allocation, peak memory (the simulated
 //! RSS), and the number of reference-tracing collections.
+//!
+//! Every program is compiled **exactly once per strategy** (three
+//! compilations per program, see [`CompiledSet`]); the statistics
+//! columns, the `diff` column, and all four measurements share those
+//! compilations. The basis library's own statistics (subtracted from the
+//! per-program columns) are compiled once per process. [`figure9`] runs
+//! the rows on scoped threads, one per program, joining in suite order so
+//! the table is deterministic.
 
 use rml::{compile_with_basis, execute, programs::Program, ExecOpts, Strategy};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Per-strategy measurements.
@@ -43,19 +52,60 @@ pub struct Row {
     pub insts: (usize, usize),
     /// Did the spurious machinery change the generated code (rg vs rg-)?
     pub diff: bool,
+    /// Total wall-clock compilation time across the three strategies.
+    pub compile_time: Duration,
     /// Measurements for rg, rg-, r, baseline (in that order).
     pub runs: Vec<Measurement>,
 }
 
-/// Runs one program under one strategy, best-of-`repeats`.
-pub fn measure(
-    p: &Program,
-    strategy: Strategy,
+/// One program compiled under every strategy the table needs, each
+/// exactly once.
+#[derive(Debug)]
+pub struct CompiledSet {
+    /// The `rg` compilation (also drives the regionless baseline run).
+    pub rg: rml::Compiled,
+    /// The `rg-` compilation.
+    pub rgm: rml::Compiled,
+    /// The `r` compilation.
+    pub r: rml::Compiled,
+    /// Compilations performed to build this set (always 3; asserted by
+    /// the cache tests against the process-wide counter).
+    pub compiles: usize,
+}
+
+/// Compiles a program under all three strategies, once each.
+pub fn compile_set(p: &Program) -> CompiledSet {
+    let rg = compile_with_basis(p.source, Strategy::Rg).expect("compile rg");
+    let rgm = compile_with_basis(p.source, Strategy::RgMinus).expect("compile rg-");
+    let r = compile_with_basis(p.source, Strategy::R).expect("compile r");
+    CompiledSet {
+        rg,
+        rgm,
+        r,
+        compiles: 3,
+    }
+}
+
+/// The basis library's Figure 9 statistics (compiled once per process;
+/// only the plain-data statistics are retained, so the cache is shared
+/// across the harness's worker threads).
+pub fn basis_stats() -> &'static rml_infer::Stats {
+    static BASIS: OnceLock<rml_infer::Stats> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        rml::compile(rml::basis::BASIS, Strategy::Rg)
+            .expect("compile basis")
+            .output
+            .stats
+    })
+}
+
+/// Runs an already-compiled program, best-of-`repeats`.
+pub fn measure_compiled(
+    c: &rml::Compiled,
     baseline: bool,
     label: &'static str,
     repeats: usize,
 ) -> Measurement {
-    let c = compile_with_basis(p.source, strategy).expect("compile failed");
     let opts = ExecOpts {
         baseline,
         ..ExecOpts::default()
@@ -65,7 +115,7 @@ pub fn measure(
     let mut crashed = false;
     for _ in 0..repeats.max(1) {
         let t0 = Instant::now();
-        match execute(&c, &opts) {
+        match execute(c, &opts) {
             Ok(out) => {
                 best = best.min(t0.elapsed());
                 last = Some(out);
@@ -98,6 +148,20 @@ pub fn measure(
     }
 }
 
+/// Runs one program under one strategy, best-of-`repeats`, compiling it
+/// first. Prefer [`measure_compiled`] (via [`compile_set`]) when several
+/// measurements share a program.
+pub fn measure(
+    p: &Program,
+    strategy: Strategy,
+    baseline: bool,
+    label: &'static str,
+    repeats: usize,
+) -> Measurement {
+    let c = compile_with_basis(p.source, strategy).expect("compile failed");
+    measure_compiled(&c, baseline, label, repeats)
+}
+
 /// Normalises variable names (`r17`, `e3`, `a5`) to first-occurrence
 /// indices so region-annotated programs from different compilations can be
 /// compared structurally (the `diff` column).
@@ -122,7 +186,11 @@ pub fn normalize_vars(s: &str) -> String {
             while j < bytes.len() && bytes[j].is_ascii_digit() {
                 j += 1;
             }
-            if j > i + 1 && (j == bytes.len() || !(bytes[j].is_ascii_alphanumeric())) {
+            // The digits must end the token: `r5_tail` is an ordinary
+            // identifier, not region variable `r5`.
+            let ends_token =
+                j == bytes.len() || !(bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_');
+            if j > i + 1 && ends_token {
                 let tok = &s[i..j];
                 let next = maps[k].len();
                 let id = *maps[k].entry(tok.to_string()).or_insert(next);
@@ -146,7 +214,10 @@ fn own_functions(src: &str) -> Vec<String> {
     while let Some(t) = toks.next() {
         if t == "fun" || t == "and" {
             if let Some(name) = toks.peek() {
-                out.push(name.trim_matches(|c: char| !c.is_alphanumeric() && c != '_').to_string());
+                out.push(
+                    name.trim_matches(|c: char| !c.is_alphanumeric() && c != '_')
+                        .to_string(),
+                );
             }
         }
     }
@@ -154,11 +225,10 @@ fn own_functions(src: &str) -> Vec<String> {
 }
 
 /// Does the spurious machinery change the generated code for `p`'s own
-/// functions (the paper's `diff` column — the basis is compiled either
-/// way, so only the benchmark's own schemes count)?
-pub fn code_differs(p: &Program) -> bool {
-    let rg = compile_with_basis(p.source, Strategy::Rg).expect("compile");
-    let rgm = compile_with_basis(p.source, Strategy::RgMinus).expect("compile");
+/// functions, given its compilations (the paper's `diff` column — the
+/// basis is compiled either way, so only the benchmark's own schemes
+/// count)?
+pub fn code_differs_compiled(p: &Program, rg: &rml::Compiled, rgm: &rml::Compiled) -> bool {
     let own = own_functions(p.source);
     let render = |c: &rml::Compiled| -> Vec<String> {
         c.output
@@ -166,50 +236,80 @@ pub fn code_differs(p: &Program) -> bool {
             .iter()
             .filter(|(n, _)| own.iter().any(|o| o == n.as_str()))
             .map(|(n, s)| {
-                format!("{n}:{}", normalize_vars(&rml_core::pretty::scheme_to_string(s)))
+                format!(
+                    "{n}:{}",
+                    normalize_vars(&rml_core::pretty::scheme_to_string(s))
+                )
             })
             .collect()
     };
-    render(&rg) != render(&rgm)
+    render(rg) != render(rgm)
 }
 
-/// Builds one Figure 9 row. The `fcns`/`inst` counts are for the program
-/// itself (basis counts subtracted, as the paper excludes the Basis
-/// Library from the per-benchmark columns).
-pub fn row(p: &Program, repeats: usize) -> Row {
+/// As [`code_differs_compiled`], compiling `p` afresh. Prefer the
+/// `_compiled` variant when the compilations are already at hand.
+pub fn code_differs(p: &Program) -> bool {
     let rg = compile_with_basis(p.source, Strategy::Rg).expect("compile");
-    let basis = rml::compile(rml::basis::BASIS, Strategy::Rg).expect("compile basis");
+    let rgm = compile_with_basis(p.source, Strategy::RgMinus).expect("compile");
+    code_differs_compiled(p, &rg, &rgm)
+}
+
+/// Builds one Figure 9 row from an existing [`CompiledSet`], performing
+/// no compilations of its own (the basis statistics come from the
+/// process-wide [`basis_stats`] cache). The `fcns`/`inst` counts are for
+/// the program itself (basis counts subtracted, as the paper excludes the
+/// Basis Library from the per-benchmark columns).
+pub fn row_with(p: &Program, set: &CompiledSet, repeats: usize) -> Row {
+    let basis = basis_stats();
+    let rg_stats = &set.rg.output.stats;
     let sub = |a: usize, b: usize| a.saturating_sub(b);
     Row {
         name: p.name,
         loc: p.loc(),
         fcns: (
-            sub(rg.output.stats.spurious_fns, basis.output.stats.spurious_fns),
-            sub(rg.output.stats.total_fns, basis.output.stats.total_fns),
+            sub(rg_stats.spurious_fns, basis.spurious_fns),
+            sub(rg_stats.total_fns, basis.total_fns),
         ),
         insts: (
-            sub(
-                rg.output.stats.spurious_boxed_insts,
-                basis.output.stats.spurious_boxed_insts,
-            ),
-            sub(rg.output.stats.total_insts, basis.output.stats.total_insts),
+            sub(rg_stats.spurious_boxed_insts, basis.spurious_boxed_insts),
+            sub(rg_stats.total_insts, basis.total_insts),
         ),
-        diff: code_differs(p),
+        diff: code_differs_compiled(p, &set.rg, &set.rgm),
+        compile_time: set.rg.timings.total + set.rgm.timings.total + set.r.timings.total,
         runs: vec![
-            measure(p, Strategy::Rg, false, "rg", repeats),
-            measure(p, Strategy::RgMinus, false, "rg-", repeats),
-            measure(p, Strategy::R, false, "r", repeats),
-            measure(p, Strategy::Rg, true, "baseline", repeats),
+            measure_compiled(&set.rg, false, "rg", repeats),
+            measure_compiled(&set.rgm, false, "rg-", repeats),
+            measure_compiled(&set.r, false, "r", repeats),
+            measure_compiled(&set.rg, true, "baseline", repeats),
         ],
     }
 }
 
-/// The whole table.
+/// Builds one Figure 9 row, compiling the program (once per strategy).
+pub fn row(p: &Program, repeats: usize) -> Row {
+    let set = compile_set(p);
+    row_with(p, &set, repeats)
+}
+
+/// The whole table. Rows are computed on scoped worker threads (one per
+/// program — compilations dominate, and each worker owns its own
+/// [`CompiledSet`]) and joined in suite order, so the output is
+/// deterministic up to the timing columns.
 pub fn figure9(repeats: usize) -> Vec<Row> {
-    rml::programs::suite()
-        .iter()
-        .map(|p| row(p, repeats))
-        .collect()
+    let progs = rml::programs::suite();
+    // Fill the basis cache before spawning so no worker repeats the work
+    // while another holds the `OnceLock` initialiser.
+    let _ = basis_stats();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = progs
+            .iter()
+            .map(|p| s.spawn(move || row(p, repeats)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("figure9 worker panicked"))
+            .collect()
+    })
 }
 
 fn kb(bytes: u64) -> String {
@@ -264,6 +364,68 @@ pub fn render(rows: &[Row]) -> String {
     s
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises the table as machine-readable JSON (per-program compile
+/// time plus the per-strategy run time, steps, allocation, peak bytes,
+/// and collection counts). Hand-rolled: the workspace has no serde.
+pub fn to_json(rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut s = String::from("{\n  \"rows\": [\n");
+    for (ri, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"loc\": {}, \"spurious_fns\": {}, \"total_fns\": {}, \
+             \"spurious_insts\": {}, \"total_insts\": {}, \"diff\": {}, \
+             \"compile_ms\": {:.3}, \"runs\": [",
+            json_escape(r.name),
+            r.loc,
+            r.fcns.0,
+            r.fcns.1,
+            r.insts.0,
+            r.insts.1,
+            r.diff,
+            r.compile_time.as_secs_f64() * 1000.0,
+        );
+        for (mi, m) in r.runs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{{\"label\": \"{}\", \"time_ms\": {:.3}, \"steps\": {}, \
+                 \"alloc_bytes\": {}, \"peak_bytes\": {}, \"gc_count\": {}, \"crashed\": {}}}",
+                json_escape(m.label),
+                m.time.as_secs_f64() * 1000.0,
+                m.steps,
+                m.alloc_bytes,
+                m.peak_bytes,
+                m.gc_count,
+                m.crashed,
+            );
+            if mi + 1 < r.runs.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("]}");
+        if ri + 1 < rows.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,11 +440,42 @@ mod tests {
     }
 
     #[test]
+    fn normalize_vars_leaves_identifiers_with_underscores_alone() {
+        // `r5_tail` is an ordinary identifier; its `r5` prefix must not be
+        // rewritten (and so two different such identifiers stay distinct).
+        assert_eq!(normalize_vars("r5_tail"), "r5_tail");
+        assert_ne!(normalize_vars("r5_tail"), normalize_vars("r6_tail"));
+        // The variable immediately before an underscore-free boundary is
+        // still normalised.
+        assert_eq!(normalize_vars("at r5,"), normalize_vars("at r8,"));
+        // And a digits-then-underscore token inside a larger identifier
+        // (preceded by an identifier char) is untouched as before.
+        assert_eq!(normalize_vars("xr5_tail"), "xr5_tail");
+    }
+
+    #[test]
     fn one_row_has_all_strategies() {
         let p = rml::programs::by_name("fib").unwrap();
         let r = row(&p, 1);
         assert_eq!(r.runs.len(), 4);
         assert!(r.runs.iter().all(|m| !m.crashed));
         assert!(r.loc > 0);
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let p = rml::programs::by_name("fib").unwrap();
+        let r = row(&p, 1);
+        let j = to_json(&[r]);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"name\": \"fib\""));
+        assert!(j.contains("\"label\": \"baseline\""));
+        // Balanced braces and brackets (no serde to parse it back).
+        let depth = |open: char, close: char| {
+            j.chars().filter(|c| *c == open).count() as i64
+                - j.chars().filter(|c| *c == close).count() as i64
+        };
+        assert_eq!(depth('{', '}'), 0);
+        assert_eq!(depth('[', ']'), 0);
     }
 }

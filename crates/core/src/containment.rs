@@ -128,11 +128,7 @@ mod tests {
         let r = RegVar::fresh();
         let m = Mu::string(r);
         assert!(!mu_contained(&Delta::new(), &m, &Effect::new()));
-        assert!(mu_contained(
-            &Delta::new(),
-            &m,
-            &effect([Atom::Reg(r)])
-        ));
+        assert!(mu_contained(&Delta::new(), &m, &effect([Atom::Reg(r)])));
     }
 
     #[test]

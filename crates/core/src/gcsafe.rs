@@ -39,8 +39,7 @@ pub fn value_contained(phi: &Regions, v: &Value) -> bool {
         Value::FixClos { defs, ats, .. } => {
             ats.iter().all(|r| phi.contains(r))
                 && defs.iter().all(|d| {
-                    expr_contained(phi, &d.body)
-                        && d.scheme.rvars.iter().all(|r| !phi.contains(r))
+                    expr_contained(phi, &d.body) && d.scheme.rvars.iter().all(|r| !phi.contains(r))
                 })
         }
         Value::ExnVal { arg, at, .. } => {
@@ -58,12 +57,9 @@ pub fn value_contained(phi: &Regions, v: &Value) -> bool {
 /// from `φ`.
 pub fn expr_contained(phi: &Regions, e: &Term) -> bool {
     match e {
-        Term::Var(_)
-        | Term::Unit
-        | Term::Int(_)
-        | Term::Bool(_)
-        | Term::Str(..)
-        | Term::Nil(_) => true,
+        Term::Var(_) | Term::Unit | Term::Int(_) | Term::Bool(_) | Term::Str(..) | Term::Nil(_) => {
+            true
+        }
         Term::Val(v) => value_contained(phi, v),
         Term::Lam { body, .. } => expr_contained(phi, body),
         Term::Fix { defs, .. } => defs.iter().all(|d| {
@@ -245,7 +241,13 @@ mod tests {
     #[test]
     fn literals_always_contained() {
         assert!(value_contained(&Regions::new(), &Value::Int(3)));
-        assert!(value_contained(&Regions::new(), &Value::NilV(crate::types::Mu::list(crate::types::Mu::Int, RegVar::fresh()))));
+        assert!(value_contained(
+            &Regions::new(),
+            &Value::NilV(crate::types::Mu::list(
+                crate::types::Mu::Int,
+                RegVar::fresh()
+            ))
+        ));
     }
 
     #[test]

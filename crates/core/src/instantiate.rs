@@ -175,7 +175,9 @@ mod tests {
             .insert(eps2, ArrowEff::new(e_i, effect([Atom::Reg(rs)])));
         let inst = check_instance(&Delta::new(), &scheme, &s, None).unwrap();
         // And the instance's latent effect now mentions ρs (through ε').
-        let BoxTy::Arrow(_, ae, _) = &inst else { panic!() };
+        let BoxTy::Arrow(_, ae, _) = &inst else {
+            panic!()
+        };
         assert!(ae.latent.contains(&Atom::Reg(rs)), "latent: {ae}");
     }
 

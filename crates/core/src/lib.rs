@@ -57,8 +57,8 @@ pub mod pretty;
 pub mod semantics;
 pub mod subst;
 pub mod terms;
-pub mod typing;
 pub mod types;
+pub mod typing;
 pub mod vars;
 
 pub use subst::Subst;

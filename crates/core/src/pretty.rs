@@ -1,8 +1,8 @@
 //! Pretty-printing of region-annotated types, schemes, and terms in the
 //! paper's notation.
 
-use crate::types::{BoxTy, Mu, Pi, Scheme};
 use crate::terms::Term;
+use crate::types::{BoxTy, Mu, Pi, Scheme};
 use std::fmt::Write as _;
 
 /// Renders a type-and-place, e.g. `(int * (string,r3), r1)`.
@@ -20,12 +20,7 @@ pub fn mu_to_string(m: &Mu) -> String {
 pub fn boxty_to_string(t: &BoxTy) -> String {
     match t {
         BoxTy::Pair(a, b) => format!("{} * {}", mu_to_string(a), mu_to_string(b)),
-        BoxTy::Arrow(a, ae, b) => format!(
-            "{} -{}-> {}",
-            mu_to_string(a),
-            ae,
-            mu_to_string(b)
-        ),
+        BoxTy::Arrow(a, ae, b) => format!("{} -{}-> {}", mu_to_string(a), ae, mu_to_string(b)),
         BoxTy::Str => "string".into(),
         BoxTy::Exn => "exn".into(),
         BoxTy::List(e) => format!("{} list", mu_to_string(e)),
@@ -88,7 +83,9 @@ fn term(e: &Term, out: &mut String) {
             let _ = write!(out, "{v:?}");
         }
         Term::Nil(_) => out.push_str("nil"),
-        Term::Lam { param, body, at, .. } => {
+        Term::Lam {
+            param, body, at, ..
+        } => {
             let _ = write!(out, "(fn at {at} {param} => ");
             term(body, out);
             out.push(')');

@@ -255,11 +255,9 @@ impl Machine {
                             self.require(phi, at, "closure call")?;
                             Ok(Reduced(body.subst_value(param, &v2)))
                         }
-                        Err(step) => {
-                            Ok(rebuild(step, |b2| {
-                                Term::App(Box::new(Term::Val(v1)), Box::new(b2))
-                            }))
-                        }
+                        Err(step) => Ok(rebuild(step, |b2| {
+                            Term::App(Box::new(Term::Val(v1)), Box::new(b2))
+                        })),
                     },
                     Err(step) => Ok(rebuild(step, |a2| Term::App(Box::new(a2), e2))),
                 }
@@ -355,8 +353,7 @@ impl Machine {
                     match self.spine(a, phi)? {
                         Ok(v) => vals.push(v),
                         Err(step) => {
-                            let done: Vec<Term> =
-                                vals.into_iter().map(Term::Val).collect();
+                            let done: Vec<Term> = vals.into_iter().map(Term::Val).collect();
                             return Ok(rebuild(step, |a2| {
                                 let mut newargs = done;
                                 newargs.push(a2);
@@ -493,10 +490,7 @@ impl Machine {
                                 unreachable!()
                             };
                             self.require(phi, *at, "exception match")?;
-                            let bound = earg
-                                .as_ref()
-                                .map(|b| (**b).clone())
-                                .unwrap_or(Value::Unit);
+                            let bound = earg.as_ref().map(|b| (**b).clone()).unwrap_or(Value::Unit);
                             Ok(Reduced(handler.subst_value(arg, &bound)))
                         } else {
                             Ok(Raising(v))
@@ -642,10 +636,8 @@ fn freshen_letregions(e: &Term) -> Term {
                 .iter()
                 .map(|ev| {
                     let fresh = crate::vars::EffVar::fresh();
-                    ren.eff.insert(
-                        *ev,
-                        crate::vars::ArrowEff::new(fresh, Default::default()),
-                    );
+                    ren.eff
+                        .insert(*ev, crate::vars::ArrowEff::new(fresh, Default::default()));
                     fresh
                 })
                 .collect();
@@ -709,11 +701,9 @@ fn freshen_letregions(e: &Term) -> Term {
             Box::new(freshen_letregions(b)),
             Box::new(freshen_letregions(c)),
         ),
-        Term::Prim(op, args, r) => Term::Prim(
-            *op,
-            args.iter().map(freshen_letregions).collect(),
-            *r,
-        ),
+        Term::Prim(op, args, r) => {
+            Term::Prim(*op, args.iter().map(freshen_letregions).collect(), *r)
+        }
         Term::Cons(a, b, r) => Term::Cons(
             Box::new(freshen_letregions(a)),
             Box::new(freshen_letregions(b)),
@@ -798,10 +788,7 @@ fn collect_letregion_binders(e: &Term, out: &mut BTreeSet<RegVar>) {
                 collect_letregion_binders(&d.body, out);
             }
         }
-        Term::App(a, b)
-        | Term::Assign(a, b)
-        | Term::Pair(a, b, _)
-        | Term::Cons(a, b, _) => {
+        Term::App(a, b) | Term::Assign(a, b) | Term::Pair(a, b, _) | Term::Cons(a, b, _) => {
             collect_letregion_binders(a, out);
             collect_letregion_binders(b, out);
         }
@@ -870,7 +857,11 @@ mod tests {
             vec![],
             Term::Sel(
                 1,
-                Box::new(Term::Pair(Box::new(Term::Int(1)), Box::new(Term::Int(2)), r)),
+                Box::new(Term::Pair(
+                    Box::new(Term::Int(1)),
+                    Box::new(Term::Int(2)),
+                    r,
+                )),
             ),
         );
         assert_eq!(run(e).unwrap(), Value::Int(1));
@@ -880,10 +871,7 @@ mod tests {
     fn allocation_outside_letregion_is_dangling() {
         let r = RegVar::fresh();
         let e = Term::Pair(Box::new(Term::Int(1)), Box::new(Term::Int(2)), r);
-        assert!(matches!(
-            run(e),
-            Err(EvalError::DanglingRegion { .. })
-        ));
+        assert!(matches!(run(e), Err(EvalError::DanglingRegion { .. })));
     }
 
     #[test]
@@ -1091,14 +1079,20 @@ mod tests {
     #[test]
     fn monitor_accepts_wellformed_evaluation() {
         let r = RegVar::fresh();
-        let mut m = Machine::default();
-        m.monitor = true;
+        let mut m = Machine {
+            monitor: true,
+            ..Machine::default()
+        };
         let e = Term::letregion(
             vec![r],
             vec![],
             Term::Sel(
                 2,
-                Box::new(Term::Pair(Box::new(Term::Int(1)), Box::new(Term::Int(2)), r)),
+                Box::new(Term::Pair(
+                    Box::new(Term::Int(1)),
+                    Box::new(Term::Int(2)),
+                    r,
+                )),
             ),
         );
         assert_eq!(m.eval(e, 1000).unwrap(), Value::Int(2));
@@ -1161,13 +1155,7 @@ mod tests {
         assert_eq!(run(e).unwrap(), Value::Int(9));
     }
 
-    fn fix1(
-        name: &str,
-        scheme: crate::types::Scheme,
-        param: &str,
-        body: Term,
-        at: RegVar,
-    ) -> Term {
+    fn fix1(name: &str, scheme: crate::types::Scheme, param: &str, body: Term, at: RegVar) -> Term {
         Term::Fix {
             defs: std::rc::Rc::new(vec![crate::terms::FixDef {
                 f: rml_syntax::Symbol::intern(name),
@@ -1311,8 +1299,10 @@ mod tests {
     #[test]
     fn monitor_allows_refs_to_live_regions() {
         let r = RegVar::fresh();
-        let mut m = Machine::default();
-        m.monitor = true;
+        let mut m = Machine {
+            monitor: true,
+            ..Machine::default()
+        };
         m.regions.insert(r); // global region for the cell
         let e = Term::let_(
             "c",

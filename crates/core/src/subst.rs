@@ -135,9 +135,7 @@ impl Subst {
             d.keys().all(|a| !self.ty.contains_key(a)),
             "substitution domain overlaps type variable context"
         );
-        d.iter()
-            .map(|(a, ae)| (*a, self.arrow_eff(ae)))
-            .collect()
+        d.iter().map(|(a, ae)| (*a, self.arrow_eff(ae))).collect()
     }
 
     /// Free type, region, and effect variables of the substitution's range
@@ -168,10 +166,7 @@ impl Subst {
     /// avoid capture.
     pub fn scheme(&self, s: &Scheme) -> Scheme {
         let (avoid_tvs, avoid_atoms) = self.avoid_set();
-        let needs_rename = s
-            .rvars
-            .iter()
-            .any(|r| avoid_atoms.contains(&Atom::Reg(*r)))
+        let needs_rename = s.rvars.iter().any(|r| avoid_atoms.contains(&Atom::Reg(*r)))
             || s.evars.iter().any(|e| avoid_atoms.contains(&Atom::Eff(*e)))
             || s.delta.iter().any(|(a, _)| avoid_tvs.contains(a));
         let s = if needs_rename {
@@ -278,10 +273,7 @@ mod tests {
         let s = Subst::effects([(e, ArrowEff::new(e2, effect([Atom::Reg(r2)])))]);
         let phi = effect([Atom::Eff(e), Atom::Reg(r)]);
         let out = s.effect(&phi);
-        assert_eq!(
-            out,
-            effect([Atom::Eff(e2), Atom::Reg(r2), Atom::Reg(r)])
-        );
+        assert_eq!(out, effect([Atom::Eff(e2), Atom::Reg(r2), Atom::Reg(r)]));
     }
 
     #[test]

@@ -326,10 +326,7 @@ impl Term {
                 }
             }
             Term::Handle {
-                body,
-                arg,
-                handler,
-                ..
+                body, arg, handler, ..
             } => {
                 body.fpv_into(bound, out);
                 bound.push(*arg);
@@ -358,9 +355,12 @@ impl Term {
                     self.clone()
                 }
             }
-            Term::Unit | Term::Int(_) | Term::Bool(_) | Term::Str(..) | Term::Nil(_) | Term::Val(_) => {
-                self.clone()
-            }
+            Term::Unit
+            | Term::Int(_)
+            | Term::Bool(_)
+            | Term::Str(..)
+            | Term::Nil(_)
+            | Term::Val(_) => self.clone(),
             Term::Lam {
                 param,
                 ann,
@@ -423,11 +423,9 @@ impl Term {
             Term::Pair(a, b, r) => Term::Pair(sub(a), sub(b), *r),
             Term::Sel(i, e) => Term::Sel(*i, sub(e)),
             Term::If(a, b, c) => Term::If(sub(a), sub(b), sub(c)),
-            Term::Prim(op, args, r) => Term::Prim(
-                *op,
-                args.iter().map(|a| a.subst_value(x, v)).collect(),
-                *r,
-            ),
+            Term::Prim(op, args, r) => {
+                Term::Prim(*op, args.iter().map(|a| a.subst_value(x, v)).collect(), *r)
+            }
             Term::Cons(a, b, r) => Term::Cons(sub(a), sub(b), *r),
             Term::CaseList {
                 scrut,
@@ -511,16 +509,8 @@ impl Term {
                 // Map the *range* of the inner substitution; its domain is
                 // a binder reference into the instantiated scheme.
                 let mut inst2 = inst.clone();
-                inst2.reg = inst
-                    .reg
-                    .iter()
-                    .map(|(k, v)| (*k, s.reg_var(*v)))
-                    .collect();
-                inst2.eff = inst
-                    .eff
-                    .iter()
-                    .map(|(k, v)| (*k, s.arrow_eff(v)))
-                    .collect();
+                inst2.reg = inst.reg.iter().map(|(k, v)| (*k, s.reg_var(*v))).collect();
+                inst2.eff = inst.eff.iter().map(|(k, v)| (*k, s.arrow_eff(v))).collect();
                 inst2.ty = inst.ty.iter().map(|(k, v)| (*k, s.mu(v))).collect();
                 Term::RApp {
                     f: go(f),
@@ -738,7 +728,12 @@ mod tests {
     #[test]
     fn fpv_respects_binders() {
         let rho = RegVar::fresh();
-        let e = Term::lam("x", mu_int_arrow(rho), Term::app(Term::var("f"), Term::var("x")), rho);
+        let e = Term::lam(
+            "x",
+            mu_int_arrow(rho),
+            Term::app(Term::var("f"), Term::var("x")),
+            rho,
+        );
         let fv = e.fpv();
         assert!(fv.contains(&Symbol::intern("f")));
         assert!(!fv.contains(&Symbol::intern("x")));

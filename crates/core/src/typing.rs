@@ -143,9 +143,7 @@ impl Checker {
                 }
                 let g2 = gamma.extended(*param, Pi::Mu(mu1.clone()));
                 let (pb, phib) = self.check_in(omega, &g2, body)?;
-                let got = pb
-                    .as_mu()
-                    .ok_or("lambda body has a scheme type")?;
+                let got = pb.as_mu().ok_or("lambda body has a scheme type")?;
                 if got != mu2 {
                     return Err(format!(
                         "lambda body type mismatch:\n  annotated: {mu2:?}\n  computed:  {got:?}"
@@ -160,10 +158,7 @@ impl Checker {
                     ));
                 }
                 self.gc_condition(omega, gamma, body, &[*param], &Pi::Mu(ann.clone()))?;
-                Ok((
-                    Pi::Mu(ann.clone()),
-                    crate::vars::effect([Atom::Reg(*at)]),
-                ))
+                Ok((Pi::Mu(ann.clone()), crate::vars::effect([Atom::Reg(*at)])))
             }
             Term::Fix { defs, ats, index } => {
                 if defs.len() != ats.len() || *index >= defs.len() {
@@ -224,9 +219,7 @@ impl Checker {
                         let mut dfr = Effect::new();
                         delta_frev(&scheme.delta_map(), &mut dfr);
                         if bound.intersection(&dfr).next().is_some() {
-                            return Err(
-                                "recursive fun: quantified ρ⃗ε⃗ intersect frev(∆)".into()
-                            );
+                            return Err("recursive fun: quantified ρ⃗ε⃗ intersect frev(∆)".into());
                         }
                     }
                     let mut outer = Effect::new();
@@ -272,7 +265,9 @@ impl Checker {
             }
             Term::App(e1, e2) => {
                 let (p1, phi1) = self.check_in(omega, gamma, e1)?;
-                let m1 = p1.as_mu().ok_or("applying a region-polymorphic function without region application")?;
+                let m1 = p1
+                    .as_mu()
+                    .ok_or("applying a region-polymorphic function without region application")?;
                 let Some((mu_arg, ae, mu_res, rho)) = m1.as_arrow() else {
                     return Err("application of a non-function".into());
                 };
@@ -361,10 +356,7 @@ impl Checker {
                 };
                 let mut phi = phi;
                 phi.insert(Atom::Reg(*rho));
-                Ok((
-                    Pi::Mu(if *i == 1 { m1.clone() } else { m2.clone() }),
-                    phi,
-                ))
+                Ok((Pi::Mu(if *i == 1 { m1.clone() } else { m2.clone() }), phi))
             }
             Term::If(c, t, f) => {
                 let (pc, phic) = self.check_in(omega, gamma, c)?;
@@ -695,7 +687,9 @@ impl Checker {
                 let (pi, _) = self.check_in(&Delta::new(), &TypeEnv::default(), &lam)?;
                 let frv: crate::gcsafe::Regions = pi.frv().into_iter().collect();
                 if !crate::gcsafe::expr_contained(&frv, body) {
-                    return Err("closure body values not contained in frv(µ) — dangling pointer".into());
+                    return Err(
+                        "closure body values not contained in frv(µ) — dangling pointer".into(),
+                    );
                 }
                 Ok(pi)
             }

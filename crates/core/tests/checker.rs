@@ -104,12 +104,7 @@ fn g_modes_differ_on_dangling_capture() {
     let rho = RegVar::fresh();
     let rs = RegVar::fresh();
     let mu = Mu::arrow(Mu::Unit, ArrowEff::fresh_empty(), Mu::Int, rho);
-    let lam = Term::lam(
-        "u",
-        mu,
-        Term::let_("_", Term::var("s"), Term::Int(0)),
-        rho,
-    );
+    let lam = Term::lam("u", mu, Term::let_("_", Term::var("s"), Term::Int(0)), rho);
     let e = Term::let_("s", Term::Str("x".into(), rs), lam);
     let wrapped = Term::letregion(vec![rho, rs], vec![], Term::let_("_", e, Term::Int(0)));
     let full = Checker {
@@ -163,7 +158,11 @@ fn tereg_discharges_bound_effects() {
         vec![],
         Term::Sel(
             1,
-            Box::new(Term::Pair(Box::new(Term::Int(1)), Box::new(Term::Int(2)), rho)),
+            Box::new(Term::Pair(
+                Box::new(Term::Int(1)),
+                Box::new(Term::Int(2)),
+                rho,
+            )),
         ),
     );
     let (_, phi) = check(&e).unwrap();
@@ -206,7 +205,11 @@ fn pair_and_sel_effects() {
     let rho = RegVar::fresh();
     let e = Term::Sel(
         2,
-        Box::new(Term::Pair(Box::new(Term::Int(1)), Box::new(Term::Bool(true)), rho)),
+        Box::new(Term::Pair(
+            Box::new(Term::Int(1)),
+            Box::new(Term::Bool(true)),
+            rho,
+        )),
     );
     let (pi, phi) = check(&Term::letregion(vec![rho], vec![], e)).unwrap();
     assert_eq!(pi.as_mu(), Some(&Mu::Bool));
@@ -356,9 +359,13 @@ fn exceptions_require_declared_constructors() {
         arg: None,
         at: r,
     };
-    assert!(check(&Term::letregion(vec![r], vec![], Term::let_("_", e, Term::Int(0))))
-        .unwrap_err()
-        .contains("unknown exception"));
+    assert!(check(&Term::letregion(
+        vec![r],
+        vec![],
+        Term::let_("_", e, Term::Int(0))
+    ))
+    .unwrap_err()
+    .contains("unknown exception"));
 }
 
 #[test]
@@ -448,9 +455,13 @@ fn ref_values_need_store_typing() {
 
 #[test]
 fn prim_arity_and_types_enforced() {
-    assert!(check(&Term::Prim(PrimOp::Add, vec![Term::Int(1), Term::Bool(true)], None))
-        .unwrap_err()
-        .contains("two ints"));
+    assert!(check(&Term::Prim(
+        PrimOp::Add,
+        vec![Term::Int(1), Term::Bool(true)],
+        None
+    ))
+    .unwrap_err()
+    .contains("two ints"));
     assert!(check(&Term::Prim(PrimOp::Not, vec![Term::Int(1)], None))
         .unwrap_err()
         .contains("bool"));

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use rml_core::containment::{mu_contained, pi_contained};
 use rml_core::subst::freshen_scheme;
 use rml_core::types::{wf_mu, BoxTy, Delta, Mu, Pi, Scheme};
-use rml_core::vars::{Atom, ArrowEff, EffVar, Effect, RegVar, TyVar};
+use rml_core::vars::{ArrowEff, Atom, EffVar, Effect, RegVar, TyVar};
 use rml_core::Subst;
 
 /// A small universe of variables so substitutions actually hit. Offset
@@ -51,8 +51,7 @@ fn mu() -> impl Strategy<Value = Mu> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), rvar())
-                .prop_map(|(a, b, r)| Mu::pair(a, b, r)),
+            (inner.clone(), inner.clone(), rvar()).prop_map(|(a, b, r)| Mu::pair(a, b, r)),
             (inner.clone(), arrow_eff(), inner.clone(), rvar())
                 .prop_map(|(a, ae, b, r)| Mu::arrow(a, ae, b, r)),
             (inner.clone(), rvar()).prop_map(|(e, r)| Mu::list(e, r)),

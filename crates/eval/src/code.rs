@@ -65,11 +65,8 @@ impl<'a> CodeTable<'a> {
             Term::Lam { param, body, .. } => {
                 let key = e as *const Term as usize;
                 if !self.lam_ids.contains_key(&key) {
-                    let mut fvs: Vec<Symbol> = body
-                        .fpv()
-                        .into_iter()
-                        .filter(|v| v != param)
-                        .collect();
+                    let mut fvs: Vec<Symbol> =
+                        body.fpv().into_iter().filter(|v| v != param).collect();
                     fvs.sort();
                     let mut frvs: BTreeSet<RegVar> = BTreeSet::new();
                     free_rvars(body, &mut Vec::new(), &mut frvs);
@@ -106,12 +103,7 @@ impl<'a> CodeTable<'a> {
         }
     }
 
-    fn fix_entry(
-        &mut self,
-        d: &'a FixDef,
-        names: &[Symbol],
-        members: &[CodeId],
-    ) -> CodeEntry<'a> {
+    fn fix_entry(&mut self, d: &'a FixDef, names: &[Symbol], members: &[CodeId]) -> CodeEntry<'a> {
         let mut fvs: Vec<Symbol> = d
             .body
             .fpv()

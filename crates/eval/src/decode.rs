@@ -108,9 +108,7 @@ pub fn decode(heap: &Heap, w: Word) -> RunValue {
         ObjKind::Exn => {
             let name = heap
                 .field(w, 0, "decode")
-                .map(|x| {
-                    rml_syntax::Symbol::from_index(x.0 as u32).to_string()
-                })
+                .map(|x| rml_syntax::Symbol::from_index(x.0 as u32).to_string())
                 .unwrap_or_default();
             RunValue::Exn(name)
         }
@@ -165,8 +163,7 @@ mod tests {
             "[1, 2]"
         );
         assert_eq!(
-            RunValue::Pair(Box::new(RunValue::Unit), Box::new(RunValue::Bool(false)))
-                .to_string(),
+            RunValue::Pair(Box::new(RunValue::Unit), Box::new(RunValue::Bool(false))).to_string(),
             "((), false)"
         );
         assert_eq!(RunValue::Str("a\"b".into()).to_string(), "\"a\\\"b\"");

@@ -445,10 +445,7 @@ impl<'a> Machine<'a> {
             }
         }
         // Two-phase: read all roots, collect, write back.
-        let mut roots: Vec<Word> = cells
-            .iter()
-            .map(|c| Word(unsafe { &**c }.get()))
-            .collect();
+        let mut roots: Vec<Word> = cells.iter().map(|c| Word(unsafe { &**c }.get())).collect();
         match self.heap.collect(&mut roots, minor) {
             Ok(()) => {}
             Err(GcError::DanglingPointer { context }) => {
@@ -657,12 +654,9 @@ impl<'a> Machine<'a> {
             Term::Exn { name, arg, at } => match arg {
                 None => {
                     let r = self.region(&renv, *at)?;
-                    let w = self.heap.alloc(
-                        r,
-                        ObjKind::Exn,
-                        2,
-                        &[name.index() as u64, 0],
-                    );
+                    let w = self
+                        .heap
+                        .alloc(r, ObjKind::Exn, 2, &[name.index() as u64, 0]);
                     ret(w)
                 }
                 Some(a) => {
@@ -714,9 +708,8 @@ impl<'a> Machine<'a> {
         group_size: Option<usize>,
     ) -> MResult<Word> {
         let entry = &self.code.entries[id];
-        let mut payload: Vec<u64> = Vec::with_capacity(
-            1 + entry.rparams.len() + entry.frvs.len() + entry.fvs.len(),
-        );
+        let mut payload: Vec<u64> =
+            Vec::with_capacity(1 + entry.rparams.len() + entry.frvs.len() + entry.fvs.len());
         payload.push(id as u64);
         for _ in &entry.rparams {
             payload.push(u64::MAX); // filled at region application
@@ -814,7 +807,13 @@ impl<'a> Machine<'a> {
 
     /// Region application: copy the closure, filling its region-parameter
     /// slots per the instantiation, at the target region.
-    fn rapp(&mut self, clos: Word, inst: &rml_core::Subst, at: RegVar, renv: &REnv) -> MResult<Word> {
+    fn rapp(
+        &mut self,
+        clos: Word,
+        inst: &rml_core::Subst,
+        at: RegVar,
+        renv: &REnv,
+    ) -> MResult<Word> {
         let id = self.field(clos, 0, "region application")?.0 as usize;
         let entry = &self.code.entries[id];
         let rparams = entry.rparams.clone();
@@ -836,15 +835,18 @@ impl<'a> Machine<'a> {
             payload.push(self.field_raw(clos, 1 + rparams.len() + i)?);
         }
         let r = self.region(renv, at)?;
-        Ok(self
-            .heap
-            .alloc(r, ObjKind::Closure, raw as u16, &payload))
+        Ok(self.heap.alloc(r, ObjKind::Closure, raw as u16, &payload))
     }
 
     fn apply(&mut self, frame: Frame<'a>, w: Word) -> MResult<Ctrl<'a>> {
         let ret = |w: Word| Ok(Ctrl::Ret(Cell::new(w.0)));
         match frame {
-            Frame::AppArg { arg, env, renv, inst } => {
+            Frame::AppArg {
+                arg,
+                env,
+                renv,
+                inst,
+            } => {
                 self.kont.push(Frame::AppCall {
                     clos: Cell::new(w.0),
                     inst,
@@ -852,9 +854,7 @@ impl<'a> Machine<'a> {
                 });
                 Ok(Ctrl::Eval(arg, env, renv))
             }
-            Frame::AppCall { clos, inst, renv } => {
-                self.call(Word(clos.get()), w, inst, &renv)
-            }
+            Frame::AppCall { clos, inst, renv } => self.call(Word(clos.get()), w, inst, &renv),
             Frame::RApp { inst, at, renv } => {
                 let w2 = self.rapp(w, inst, at, &renv)?;
                 ret(w2)
@@ -873,9 +873,7 @@ impl<'a> Machine<'a> {
             }
             Frame::PairMk { fst, at, renv } => {
                 let r = self.region(&renv, at)?;
-                ret(self
-                    .heap
-                    .alloc(r, ObjKind::Pair, 0, &[fst.get(), w.0]))
+                ret(self.heap.alloc(r, ObjKind::Pair, 0, &[fst.get(), w.0]))
             }
             Frame::Sel(i) => {
                 let v = self.field(w, (i - 1) as usize, "projection")?;
@@ -915,7 +913,12 @@ impl<'a> Machine<'a> {
                     }
                 }
             }
-            Frame::ConsTail { tail, env, renv, at } => {
+            Frame::ConsTail {
+                tail,
+                env,
+                renv,
+                at,
+            } => {
                 self.kont.push(Frame::ConsMk {
                     head: Cell::new(w.0),
                     at,
@@ -925,9 +928,7 @@ impl<'a> Machine<'a> {
             }
             Frame::ConsMk { head, at, renv } => {
                 let r = self.region(&renv, at)?;
-                ret(self
-                    .heap
-                    .alloc(r, ObjKind::Cons, 0, &[head.get(), w.0]))
+                ret(self.heap.alloc(r, ObjKind::Cons, 0, &[head.get(), w.0]))
             }
             Frame::Case {
                 nil_rhs,
@@ -974,12 +975,9 @@ impl<'a> Machine<'a> {
             }
             Frame::ExnMk { name, at, renv } => {
                 let r = self.region(&renv, at)?;
-                ret(self.heap.alloc(
-                    r,
-                    ObjKind::Exn,
-                    2,
-                    &[name.index() as u64, 0, w.0],
-                ))
+                ret(self
+                    .heap
+                    .alloc(r, ObjKind::Exn, 2, &[name.index() as u64, 0, w.0]))
             }
             Frame::RaiseDo => self.unwind(w),
             Frame::Handle { .. } => {
@@ -1006,20 +1004,19 @@ impl<'a> Machine<'a> {
                     handler,
                     env,
                     renv,
+                } if exn == name => {
+                    let header = self
+                        .heap
+                        .header(exn_val, "exception match")
+                        .or_else(|e| self.dangling(e))?;
+                    let bound = if header.len > 2 {
+                        self.field(exn_val, 2, "exception argument")?
+                    } else {
+                        Word::UNIT
+                    };
+                    let env2 = env_bind(&env, arg, bound);
+                    return Ok(Ctrl::Eval(handler, env2, renv));
                 }
-                    if exn == name => {
-                        let header = self
-                            .heap
-                            .header(exn_val, "exception match")
-                            .or_else(|e| self.dangling(e))?;
-                        let bound = if header.len > 2 {
-                            self.field(exn_val, 2, "exception argument")?
-                        } else {
-                            Word::UNIT
-                        };
-                        let env2 = env_bind(&env, arg, bound);
-                        return Ok(Ctrl::Eval(handler, env2, renv));
-                    }
                 _ => {}
             }
         }
@@ -1119,8 +1116,14 @@ impl<'a> Machine<'a> {
         if !a.is_pointer() || !b.is_pointer() {
             return Ok(false);
         }
-        let ha = self.heap.header(a, "equality").or_else(|e| self.dangling(e))?;
-        let hb = self.heap.header(b, "equality").or_else(|e| self.dangling(e))?;
+        let ha = self
+            .heap
+            .header(a, "equality")
+            .or_else(|e| self.dangling(e))?;
+        let hb = self
+            .heap
+            .header(b, "equality")
+            .or_else(|e| self.dangling(e))?;
         if ha.kind != hb.kind {
             return Ok(false);
         }
@@ -1133,15 +1136,12 @@ impl<'a> Machine<'a> {
                     .heap
                     .read_str(b, "equality")
                     .or_else(|e| self.dangling(e))?),
-            ObjKind::Pair | ObjKind::Cons => {
-                Ok(self.value_eq(self.field(a, 0, "equality")?, self.field(b, 0, "equality")?)?
-                    && self
-                        .value_eq(self.field(a, 1, "equality")?, self.field(b, 1, "equality")?)?)
-            }
+            ObjKind::Pair | ObjKind::Cons => Ok(self
+                .value_eq(self.field(a, 0, "equality")?, self.field(b, 0, "equality")?)?
+                && self.value_eq(self.field(a, 1, "equality")?, self.field(b, 1, "equality")?)?),
             ObjKind::Ref => Ok(false), // distinct cells (identity compared above)
             ObjKind::Exn => Ok(self.field_raw(a, 0)? == self.field_raw(b, 0)?),
             _ => Ok(false),
         }
     }
 }
-

@@ -7,7 +7,14 @@ use rml_infer::{infer, Options, Strategy};
 fn go(src: &str) -> RunValue {
     let prog = rml_syntax::parse_program(src).unwrap();
     let typed = rml_hm::infer_program(&prog).unwrap();
-    let out = infer(&typed, Options { strategy: Strategy::Rg, ..Default::default() }).unwrap();
+    let out = infer(
+        &typed,
+        Options {
+            strategy: Strategy::Rg,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     run(&out.term, &RunOpts::new(out.global)).unwrap().value
 }
 
@@ -87,7 +94,14 @@ fn letregion_inside_loop_reuses_pages() {
     )
     .unwrap();
     let typed = rml_hm::infer_program(&prog).unwrap();
-    let out = infer(&typed, Options { strategy: Strategy::R, ..Default::default() }).unwrap();
+    let out = infer(
+        &typed,
+        Options {
+            strategy: Strategy::R,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut opts = RunOpts::new(out.global);
     opts.gc = rml_eval::GcPolicy::Off;
     let res = run(&out.term, &opts).unwrap();

@@ -7,14 +7,25 @@ use rml_infer::{infer, Options, Strategy};
 fn compile(src: &str, strategy: Strategy) -> rml_infer::Output {
     let prog = rml_syntax::parse_program(src).unwrap();
     let typed = rml_hm::infer_program(&prog).unwrap();
-    infer(&typed, Options { strategy, ..Options::default() }).unwrap()
+    infer(
+        &typed,
+        Options {
+            strategy,
+            ..Options::default()
+        },
+    )
+    .unwrap()
 }
 
 fn run_rg(src: &str) -> RunValue {
     let out = compile(src, Strategy::Rg);
     // Aggressive collection to stress the collector.
     let mut opts = RunOpts::new(out.global);
-    opts.gc = GcPolicy::On { min_bytes: 512, ratio: 1.1, generational: false };
+    opts.gc = GcPolicy::On {
+        min_bytes: 512,
+        ratio: 1.1,
+        generational: false,
+    };
     run(&out.term, &opts).expect("run failed").value
 }
 
@@ -188,7 +199,11 @@ fn gc_bounds_memory_for_region_unfriendly_code() {
                fun main () = case build 30000 nil of nil => 0 | h :: t => #1 h";
     let out = compile(src, Strategy::Rg);
     let mut opts = RunOpts::new(out.global);
-    opts.gc = GcPolicy::On { min_bytes: 8 * 1024, ratio: 1.2, generational: false };
+    opts.gc = GcPolicy::On {
+        min_bytes: 8 * 1024,
+        ratio: 1.2,
+        generational: false,
+    };
     let res = run(&out.term, &opts).unwrap();
     assert_eq!(res.value, RunValue::Int(1));
     assert!(res.stats.gc_count > 0);
@@ -201,7 +216,11 @@ fn generational_mode_runs() {
                fun main () = sum (upto 2000)";
     let out = compile(src, Strategy::Rg);
     let mut opts = RunOpts::new(out.global);
-    opts.gc = GcPolicy::On { min_bytes: 4 * 1024, ratio: 1.2, generational: true };
+    opts.gc = GcPolicy::On {
+        min_bytes: 4 * 1024,
+        ratio: 1.2,
+        generational: true,
+    };
     let res = run(&out.term, &opts).unwrap();
     assert_eq!(res.value, RunValue::Int(2001000));
     assert!(res.stats.minor_gc_count > 0, "stats: {:?}", res.stats);

@@ -124,10 +124,7 @@ impl Infer {
 
     fn ann_to_ty(&mut self, ann: &TyAnn, tvs: &mut HashMap<Symbol, Ty>) -> Ty {
         match ann {
-            TyAnn::Var(v) => tvs
-                .entry(*v)
-                .or_insert_with(|| self.store.fresh())
-                .clone(),
+            TyAnn::Var(v) => tvs.entry(*v).or_insert_with(|| self.store.fresh()).clone(),
             TyAnn::Int => Ty::Int,
             TyAnn::String => Ty::Str,
             TyAnn::Bool => Ty::Bool,
@@ -259,9 +256,7 @@ impl Infer {
                             });
                         }
                         None => {
-                            if let Some((_, op)) =
-                                BUILTINS.iter().find(|(n, _)| *n == x.as_str())
-                            {
+                            if let Some((_, op)) = BUILTINS.iter().find(|(n, _)| *n == x.as_str()) {
                                 let ta = self.expr(a, tvs)?;
                                 let rt = self.prim_result(*op, std::slice::from_ref(&ta))?;
                                 return Ok(TExpr {
@@ -393,11 +388,7 @@ impl Infer {
             Expr::Deref(e) => {
                 let te = self.expr(e, tvs)?;
                 let a = self.store.fresh();
-                self.unify(
-                    &te.ty.clone(),
-                    &Ty::Ref(Box::new(a.clone())),
-                    "dereference",
-                )?;
+                self.unify(&te.ty.clone(), &Ty::Ref(Box::new(a.clone())), "dereference")?;
                 Ok(TExpr {
                     ty: a,
                     kind: TExprKind::Deref(Box::new(te)),
@@ -503,7 +494,10 @@ impl Infer {
             }
             Some(EnvEntry::Mono(t)) => Ok(TExpr {
                 ty: t,
-                kind: TExprKind::Var { name: x, inst: None },
+                kind: TExprKind::Var {
+                    name: x,
+                    inst: None,
+                },
             }),
             Some(EnvEntry::Exn(arg)) => match arg {
                 None => Ok(TExpr {
@@ -567,11 +561,7 @@ impl Infer {
         }
     }
 
-    fn do_binds(
-        &mut self,
-        decls: &[Decl],
-        tvs: &mut HashMap<Symbol, Ty>,
-    ) -> IResult<Vec<TBind>> {
+    fn do_binds(&mut self, decls: &[Decl], tvs: &mut HashMap<Symbol, Ty>) -> IResult<Vec<TBind>> {
         let mut out = Vec::new();
         for d in decls {
             match d {
@@ -730,11 +720,9 @@ fn zonk_ty(store: &TyStore, t: &mut Ty) {
 fn zonk_expr(store: &TyStore, e: &mut TExpr) {
     zonk_ty(store, &mut e.ty);
     match &mut e.kind {
-        TExprKind::Var { inst, .. } => {
-            if let Some(ts) = inst {
-                for t in ts {
-                    zonk_ty(store, t);
-                }
+        TExprKind::Var { inst: Some(ts), .. } => {
+            for t in ts {
+                zonk_ty(store, t);
             }
         }
         TExprKind::Lam { param_ty, body, .. } => {
@@ -788,10 +776,8 @@ fn zonk_expr(store: &TyStore, e: &mut TExpr) {
             zonk_ty(store, arg_ty);
             zonk_expr(store, handler);
         }
-        TExprKind::ConApp { arg, .. } => {
-            if let Some(a) = arg {
-                zonk_expr(store, a);
-            }
+        TExprKind::ConApp { arg: Some(a), .. } => {
+            zonk_expr(store, a);
         }
         _ => {}
     }
@@ -917,10 +903,7 @@ mod tests {
         let p = infer("fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)");
         let s = scheme_of(&p, "fib");
         assert_eq!(s.vars.len(), 0);
-        assert_eq!(
-            s.body,
-            Ty::Arrow(Box::new(Ty::Int), Box::new(Ty::Int))
-        );
+        assert_eq!(s.body, Ty::Arrow(Box::new(Ty::Int), Box::new(Ty::Int)));
     }
 
     #[test]
@@ -948,9 +931,7 @@ mod tests {
 
     #[test]
     fn map_scheme() {
-        let p = infer(
-            "fun map f xs = case xs of nil => nil | h :: t => f h :: map f t",
-        );
+        let p = infer("fun map f xs = case xs of nil => nil | h :: t => f h :: map f t");
         let s = scheme_of(&p, "map");
         assert_eq!(s.vars.len(), 2);
     }
@@ -973,7 +954,9 @@ mod tests {
     #[test]
     fn recursive_occurrence_is_monomorphic() {
         let p = infer("fun loop x = loop x");
-        let TBind::Fun(fs) = &p.binds[0] else { panic!() };
+        let TBind::Fun(fs) = &p.binds[0] else {
+            panic!()
+        };
         let TExprKind::App(f, _) = &fs[0].body.kind else {
             panic!()
         };
@@ -1017,9 +1000,8 @@ mod tests {
     fn exception_with_scoped_tyvar() {
         // Section 4.4 example: a local exception whose argument type is a
         // type variable of the enclosing function.
-        let p = infer(
-            "fun f (x : 'a) = let exception E of 'a in (raise (E x)) handle E y => y end",
-        );
+        let p =
+            infer("fun f (x : 'a) = let exception E of 'a in (raise (E x)) handle E y => y end");
         let s = scheme_of(&p, "f");
         assert_eq!(s.vars.len(), 1);
         let Ty::Arrow(a, b) = &s.body else { panic!() };

@@ -200,9 +200,10 @@ impl TExpr {
                 }
                 body.walk(f);
             }
-            TExprKind::Sel(_, e) | TExprKind::Ref(e) | TExprKind::Deref(e) | TExprKind::Raise(e) => {
-                e.walk(f)
-            }
+            TExprKind::Sel(_, e)
+            | TExprKind::Ref(e)
+            | TExprKind::Deref(e)
+            | TExprKind::Raise(e) => e.walk(f),
             TExprKind::If(a, b, c) => {
                 a.walk(f);
                 b.walk(f);

@@ -396,10 +396,7 @@ mod tests {
         let mut st = TyStore::new();
         let m = st.fresh();
         let t = Ty::List(Box::new(m));
-        assert_eq!(
-            st.zonk_default(&t, &Ty::Unit),
-            Ty::List(Box::new(Ty::Unit))
-        );
+        assert_eq!(st.zonk_default(&t, &Ty::Unit), Ty::List(Box::new(Ty::Unit)));
     }
 
     #[test]

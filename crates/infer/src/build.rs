@@ -42,11 +42,8 @@ impl<'a> Build<'a> {
     /// Creates the pass-2 context from the finished pass 1.
     pub fn new(c: &'a mut Constrain) -> (Build<'a>, BTreeMap<Symbol, Option<Mu>>) {
         let mut exns = BTreeMap::new();
-        let exn_list: Vec<(Symbol, Option<crate::rty::RTy>)> = c
-            .exns
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let exn_list: Vec<(Symbol, Option<crate::rty::RTy>)> =
+            c.exns.iter().map(|(k, v)| (*k, v.clone())).collect();
         for (name, arg) in exn_list {
             let mu = arg.map(|rty| rty.resolve(&mut c.st));
             exns.insert(name, mu);
@@ -183,16 +180,14 @@ impl<'a> Build<'a> {
                         for e in &scheme.evars {
                             // ε ↦ ε.φ(ε): look the latent up from the
                             // scheme body by re-resolving the store node.
-                            subst.eff.insert(
-                                *e,
-                                rml_core::vars::ArrowEff::new(*e, Effect::new()),
-                            );
+                            subst
+                                .eff
+                                .insert(*e, rml_core::vars::ArrowEff::new(*e, Effect::new()));
                         }
                         // Fix up the effect substitution to carry the real
                         // latent sets (ε ↦ ε.φ where φ is ε's latent in the
                         // scheme body).
-                        let mut latents: BTreeMap<rml_core::vars::EffVar, Effect> =
-                            BTreeMap::new();
+                        let mut latents: BTreeMap<rml_core::vars::EffVar, Effect> = BTreeMap::new();
                         collect_latents(&scheme.body, &mut latents);
                         for (a, ae) in &scheme.delta {
                             let _ = a;
@@ -200,9 +195,7 @@ impl<'a> Build<'a> {
                         }
                         for e in &scheme.evars {
                             let lat = latents.get(e).cloned().unwrap_or_default();
-                            subst
-                                .eff
-                                .insert(*e, rml_core::vars::ArrowEff::new(*e, lat));
+                            subst.eff.insert(*e, rml_core::vars::ArrowEff::new(*e, lat));
                         }
                     }
                     Some(m) => {
@@ -224,8 +217,7 @@ impl<'a> Build<'a> {
                 }
                 let tau = subst.boxty(&scheme.body);
                 let mu = Mu::Boxed(Box::new(tau), at_core);
-                let eff =
-                    rml_core::vars::effect([Atom::Reg(at_core), Atom::Reg(place)]);
+                let eff = rml_core::vars::effect([Atom::Reg(at_core), Atom::Reg(place)]);
                 Ok((
                     Term::RApp {
                         f: Box::new(Term::Var(fun.name)),
@@ -334,11 +326,7 @@ impl<'a> Build<'a> {
                 let mut eff = ceff;
                 eff.extend(teff);
                 eff.extend(feff);
-                Ok((
-                    Term::If(Box::new(ct), Box::new(tt), Box::new(ft)),
-                    tpi,
-                    eff,
-                ))
+                Ok((Term::If(Box::new(ct), Box::new(tt), Box::new(ft)), tpi, eff))
             }
             CTerm::Prim(op, args, res) => {
                 let mut terms = Vec::new();
@@ -520,12 +508,7 @@ impl<'a> Build<'a> {
                 handler,
             } => {
                 let (bt, bpi, beff) = self.scoped(env, body)?;
-                let arg_mu = self
-                    .exns
-                    .get(exn)
-                    .cloned()
-                    .flatten()
-                    .unwrap_or(Mu::Unit);
+                let arg_mu = self.exns.get(exn).cloned().flatten().unwrap_or(Mu::Unit);
                 let env2 = env.extended(*arg, Pi::Mu(arg_mu));
                 let (ht, _hpi, heff) = self.scoped(&env2, handler)?;
                 let mut eff = beff;

@@ -253,10 +253,8 @@ impl Constrain {
         }
         surface.insert(AtomI::Rho(self.st.find_rho(self.global_rho)));
         surface.insert(AtomI::Eps(self.st.find_eps(self.global_eps)));
-        for arg in self.exns.values() {
-            if let Some(rty) = arg {
-                rty.frev(&self.st, &mut surface);
-            }
+        for rty in self.exns.values().flatten() {
+            rty.frev(&self.st, &mut surface);
         }
         self.st.atom_closure(&surface)
     }
@@ -270,9 +268,12 @@ impl Constrain {
         if let Some(e) = self.omega.get(&alpha) {
             return *e;
         }
-        let identify = (in_fn_type || self.style == SpuriousStyle::Identify)
-            && self.rec_depth == 0;
-        let eps = if identify { fallback } else { self.st.fresh_eps() };
+        let identify = (in_fn_type || self.style == SpuriousStyle::Identify) && self.rec_depth == 0;
+        let eps = if identify {
+            fallback
+        } else {
+            self.st.fresh_eps()
+        };
         self.omega.insert(alpha, eps);
         eps
     }
@@ -329,13 +330,7 @@ impl Constrain {
         }
     }
 
-    fn capture_free_vars(
-        &mut self,
-        lam_eps: EpsId,
-        arrow: &RTy,
-        body: &TExpr,
-        bound: &[Symbol],
-    ) {
+    fn capture_free_vars(&mut self, lam_eps: EpsId, arrow: &RTy, body: &TExpr, bound: &[Symbol]) {
         let mut fn_ftv = BTreeSet::new();
         arrow.ftv(&mut fn_ftv);
         let mut fv = BTreeSet::new();
@@ -379,7 +374,7 @@ impl Constrain {
         // atoms through the instantiation.
         for (root, fresh) in &epairs {
             let latent = self.st.latent_of(*root);
-            for a in latent {
+            for a in latent.iter().copied() {
                 let mapped = match a {
                     AtomI::Rho(r) => AtomI::Rho(*rmap.get(&r).unwrap_or(&r)),
                     AtomI::Eps(e) => AtomI::Eps(*emap.get(&e).unwrap_or(&e)),
@@ -878,9 +873,7 @@ impl Constrain {
         let mut defs = Vec::new();
         for b in group {
             let proto = self.spread(&b.scheme.body);
-            let place = proto
-                .place()
-                .expect("fun prototype must be a boxed arrow");
+            let place = proto.place().expect("fun prototype must be a boxed arrow");
             eff.insert(AtomI::Rho(place));
             let fd = Rc::new(FunDef {
                 name: b.name,
@@ -1112,8 +1105,7 @@ impl Constrain {
                         .unwrap_or(0),
                     _ => 0,
                 };
-                let (cm, tm, em) =
-                    self.var_occurrence(main, &Some(vec![Ty::Unit; arity]))?;
+                let (cm, tm, em) = self.var_occurrence(main, &Some(vec![Ty::Unit; arity]))?;
                 match tm.as_arrow() {
                     Some((arg, eps, _res, rho)) if *arg == RTy::Unit => {
                         let mut eff = em;
@@ -1334,10 +1326,8 @@ fn subst_cterm_tys(st: &Store, c: CTerm, tmap: &BTreeMap<TyVar, RTy>) -> CTerm {
             }
             CTerm::Inst(data)
         }
-        leaf @ (CTerm::Var(_)
-        | CTerm::Unit
-        | CTerm::Int(_)
-        | CTerm::Bool(_)
-        | CTerm::Str(..)) => leaf,
+        leaf @ (CTerm::Var(_) | CTerm::Unit | CTerm::Int(_) | CTerm::Bool(_) | CTerm::Str(..)) => {
+            leaf
+        }
     }
 }

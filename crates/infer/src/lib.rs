@@ -93,6 +93,8 @@ pub struct Output {
     pub global: RegVar,
     /// Figure 9 statistics (spurious functions/instantiations).
     pub stats: Stats,
+    /// Unification-store instrumentation (find/union/closure counters).
+    pub store_stats: store::StoreStats,
     /// Pretty-printable schemes of the top-level functions, in order.
     pub schemes: Vec<(Symbol, rml_core::types::Scheme)>,
 }
@@ -124,11 +126,13 @@ pub fn infer(p: &TProgram, opts: Options) -> Result<Output, InferError> {
     // Collect top-level schemes for reporting.
     let mut schemes = Vec::new();
     collect_schemes(&term, &mut schemes);
+    let store_stats = c.st.stats();
     Ok(Output {
         term,
         exns,
         global,
         stats,
+        store_stats,
         schemes,
     })
 }

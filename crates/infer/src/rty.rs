@@ -126,10 +126,9 @@ impl RTy {
                 let r = st.find_rho(*r);
                 let r2 = rmap.get(&r).copied().unwrap_or(r);
                 let b2 = match &**b {
-                    RBox::Pair(a, c) => RBox::Pair(
-                        a.subst(st, tmap, rmap, emap),
-                        c.subst(st, tmap, rmap, emap),
-                    ),
+                    RBox::Pair(a, c) => {
+                        RBox::Pair(a.subst(st, tmap, rmap, emap), c.subst(st, tmap, rmap, emap))
+                    }
                     RBox::Arrow(a, e, c) => {
                         let e = st.find_eps(*e);
                         let e2 = emap.get(&e).copied().unwrap_or(e);
@@ -219,9 +218,7 @@ pub fn spread(st: &mut Store, quant_map: &mut BTreeMap<u32, TyVar>, ty: &Ty) -> 
 pub fn unify(st: &mut Store, a: &RTy, b: &RTy) -> Result<(), String> {
     match (a, b) {
         (RTy::Var(x), RTy::Var(y)) if x == y => Ok(()),
-        (RTy::Int, RTy::Int)
-        | (RTy::Bool, RTy::Bool)
-        | (RTy::Unit, RTy::Unit) => Ok(()),
+        (RTy::Int, RTy::Int) | (RTy::Bool, RTy::Bool) | (RTy::Unit, RTy::Unit) => Ok(()),
         (RTy::Boxed(ba, ra), RTy::Boxed(bb, rb)) => {
             st.union_rho(*ra, *rb);
             match (&**ba, &**bb) {

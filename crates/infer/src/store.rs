@@ -7,9 +7,36 @@
 //! convention of the paper (Section 3.5), and it is what makes arrow
 //! effects grow monotonically under unification — the property the
 //! unification-based inference algorithm \[Tofte–Birkedal 1998\] relies on.
+//!
+//! # Performance notes
+//!
+//! The store is on the hot path of every `frev`, `capture`, and
+//! `instantiate` call, so it uses:
+//!
+//! * union-find with **path halving** and **union by rank**. Parents live
+//!   in `Cell`s so `find_*` can compress paths through the `&self`
+//!   receivers that `RTy::frev`/`subst` require;
+//! * **sorted-`Vec` small-sets** for the per-root latent and container
+//!   sets. Latent sets are small (a handful of atoms) and read far more
+//!   often than written; a sorted `Vec` with binary-search insert has the
+//!   same membership semantics and iteration order as the `BTreeSet` it
+//!   replaces, without the per-node allocations;
+//! * an **iterative worklist** in [`Store::add_atom`] (the closure
+//!   invariant used to be restored by recursion);
+//! * **epoch-invalidated memos** for [`Store::latent_of`] and the
+//!   per-root effect closures. Every mutation (insert or union) bumps a
+//!   generation counter; queries reuse the cached canonicalised set while
+//!   the generation is unchanged. Path compression does *not* bump the
+//!   epoch — it never changes a canonical representative, so cached sets
+//!   (which store canonical atoms) stay valid.
+//!
+//! Opt-in instrumentation is available through [`Store::stats`], which
+//! snapshots find/union/closure counters ([`StoreStats`]).
 
 use rml_core::vars::{ArrowEff, Atom, EffVar, Effect, RegVar};
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// A region-variable node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -28,19 +55,97 @@ pub enum AtomI {
     Eps(EpsId),
 }
 
+/// A small sorted set of atoms: binary-search membership and ordered
+/// iteration, like `BTreeSet<AtomI>`, but contiguous.
+#[derive(Debug, Default, Clone)]
+struct AtomSet(Vec<AtomI>);
+
+impl AtomSet {
+    fn insert(&mut self, a: AtomI) -> bool {
+        match self.0.binary_search(&a) {
+            Ok(_) => false,
+            Err(i) => {
+                self.0.insert(i, a);
+                true
+            }
+        }
+    }
+
+    fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, AtomI>> {
+        self.0.iter().copied()
+    }
+
+    fn take(&mut self) -> Vec<AtomI> {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// A small sorted set of node ids (used for reverse container edges).
+#[derive(Debug, Default, Clone)]
+struct IdSet(Vec<u32>);
+
+impl IdSet {
+    fn insert(&mut self, x: u32) -> bool {
+        match self.0.binary_search(&x) {
+            Ok(_) => false,
+            Err(i) => {
+                self.0.insert(i, x);
+                true
+            }
+        }
+    }
+
+    fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, u32>> {
+        self.0.iter().copied()
+    }
+
+    fn take(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// A snapshot of the store's instrumentation counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Calls to `find_rho`/`find_eps` (unification-store reads).
+    pub find_ops: u64,
+    /// Successful unions (distinct classes merged), regions + effects.
+    pub unions: u64,
+    /// Latent/closure memo rebuilds after a store mutation.
+    pub closure_recomputes: u64,
+    /// Latent/closure queries answered from the memo.
+    pub closure_cache_hits: u64,
+}
+
 /// The store.
 #[derive(Debug, Default)]
 pub struct Store {
-    rho_parent: Vec<u32>,
-    eps_parent: Vec<u32>,
-    /// Latent set per eps root (transitively closed, canonical roots).
-    latent: Vec<BTreeSet<AtomI>>,
+    rho_parent: Vec<Cell<u32>>,
+    rho_rank: Vec<u8>,
+    eps_parent: Vec<Cell<u32>>,
+    eps_rank: Vec<u8>,
+    /// Latent set per eps root (transitively closed; atoms are canonical
+    /// at insertion time and re-canonicalised by queries after unions).
+    latent: Vec<AtomSet>,
     /// Reverse membership: eps roots whose latent contains this eps root.
-    containers: Vec<BTreeSet<u32>>,
+    containers: Vec<IdSet>,
     /// Core variable assigned to each rho root at resolution time.
     rho_core: BTreeMap<u32, RegVar>,
     /// Core variable assigned to each eps root at resolution time.
     eps_core: BTreeMap<u32, EffVar>,
+    /// Mutation generation; bumped by inserts and unions.
+    epoch: Cell<u64>,
+    /// Generation the memos below were built at; on mismatch they are
+    /// cleared lazily by the next query.
+    memo_epoch: Cell<u64>,
+    /// Canonicalised latent set per eps root.
+    latent_memo: RefCell<BTreeMap<u32, Rc<BTreeSet<AtomI>>>>,
+    /// Transitive atom closure of `{Eps(root)}` per eps root.
+    closure_memo: RefCell<BTreeMap<u32, Rc<BTreeSet<AtomI>>>>,
+    find_ops: Cell<u64>,
+    unions: Cell<u64>,
+    closure_recomputes: Cell<u64>,
+    closure_cache_hits: Cell<u64>,
 }
 
 impl Store {
@@ -49,46 +154,100 @@ impl Store {
         Store::default()
     }
 
+    /// Snapshots the instrumentation counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            find_ops: self.find_ops.get(),
+            unions: self.unions.get(),
+            closure_recomputes: self.closure_recomputes.get(),
+            closure_cache_hits: self.closure_cache_hits.get(),
+        }
+    }
+
     /// Allocates a fresh region variable.
     pub fn fresh_rho(&mut self) -> RhoId {
         let id = self.rho_parent.len() as u32;
-        self.rho_parent.push(id);
+        self.rho_parent.push(Cell::new(id));
+        self.rho_rank.push(0);
         RhoId(id)
     }
 
     /// Allocates a fresh effect variable with an empty latent set.
     pub fn fresh_eps(&mut self) -> EpsId {
         let id = self.eps_parent.len() as u32;
-        self.eps_parent.push(id);
-        self.latent.push(BTreeSet::new());
-        self.containers.push(BTreeSet::new());
+        self.eps_parent.push(Cell::new(id));
+        self.eps_rank.push(0);
+        self.latent.push(AtomSet::default());
+        self.containers.push(IdSet::default());
         EpsId(id)
     }
 
-    /// Finds the canonical representative of a region variable.
+    /// Finds the canonical representative of a region variable,
+    /// compressing the path by halving.
     pub fn find_rho(&self, r: RhoId) -> RhoId {
+        self.find_ops.set(self.find_ops.get() + 1);
         let mut x = r.0;
-        while self.rho_parent[x as usize] != x {
-            x = self.rho_parent[x as usize];
+        loop {
+            let p = self.rho_parent[x as usize].get();
+            if p == x {
+                return RhoId(x);
+            }
+            let gp = self.rho_parent[p as usize].get();
+            self.rho_parent[x as usize].set(gp);
+            x = gp;
         }
-        RhoId(x)
     }
 
-    /// Finds the canonical representative of an effect variable.
+    /// Finds the canonical representative of an effect variable,
+    /// compressing the path by halving.
     pub fn find_eps(&self, e: EpsId) -> EpsId {
+        self.find_ops.set(self.find_ops.get() + 1);
         let mut x = e.0;
-        while self.eps_parent[x as usize] != x {
-            x = self.eps_parent[x as usize];
+        loop {
+            let p = self.eps_parent[x as usize].get();
+            if p == x {
+                return EpsId(x);
+            }
+            let gp = self.eps_parent[p as usize].get();
+            self.eps_parent[x as usize].set(gp);
+            x = gp;
         }
-        EpsId(x)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    /// Picks (winner, loser) by rank with a deterministic tiebreak
+    /// (lower id wins), bumping the winner's rank on ties.
+    fn pick(rank: &mut [u8], a: u32, b: u32) -> (u32, u32) {
+        use std::cmp::Ordering;
+        match rank[a as usize].cmp(&rank[b as usize]) {
+            Ordering::Greater => (a, b),
+            Ordering::Less => (b, a),
+            Ordering::Equal => {
+                let (w, l) = if a < b { (a, b) } else { (b, a) };
+                rank[w as usize] += 1;
+                (w, l)
+            }
+        }
     }
 
     /// Unifies two region variables.
     pub fn union_rho(&mut self, a: RhoId, b: RhoId) {
         let ra = self.find_rho(a);
         let rb = self.find_rho(b);
-        if ra != rb {
-            self.rho_parent[rb.0 as usize] = ra.0;
+        if ra == rb {
+            return;
+        }
+        self.unions.set(self.unions.get() + 1);
+        self.bump_epoch();
+        let (win, lose) = Self::pick(&mut self.rho_rank, ra.0, rb.0);
+        self.rho_parent[lose as usize].set(win);
+        // Resolution normally happens after all unions, but keep any
+        // already-assigned core variable reachable from the new root.
+        if let Some(v) = self.rho_core.remove(&lose) {
+            self.rho_core.entry(win).or_insert(v);
         }
     }
 
@@ -100,21 +259,33 @@ impl Store {
         if ra == rb {
             return;
         }
-        self.eps_parent[rb.0 as usize] = ra.0;
-        let b_latent = std::mem::take(&mut self.latent[rb.0 as usize]);
-        let b_containers = std::mem::take(&mut self.containers[rb.0 as usize]);
-        self.containers[ra.0 as usize].extend(b_containers);
-        for atom in b_latent {
-            self.add_atom(ra, atom);
+        self.unions.set(self.unions.get() + 1);
+        self.bump_epoch();
+        let (win, lose) = Self::pick(&mut self.eps_rank, ra.0, rb.0);
+        self.eps_parent[lose as usize].set(win);
+        if let Some(v) = self.eps_core.remove(&lose) {
+            self.eps_core.entry(win).or_insert(v);
         }
-        // Anything that contained b now contains the merged class: push
-        // the merged latent to every container so closure is restored.
-        let atoms: Vec<AtomI> = self.latent[ra.0 as usize].iter().copied().collect();
-        let containers: Vec<u32> = self.containers[ra.0 as usize].iter().copied().collect();
-        for c in containers {
+        let win = EpsId(win);
+        // The winner's pre-merge latent: the only atoms the loser's old
+        // containers have not seen yet.
+        let win_latent: Vec<AtomI> = self.latent[win.0 as usize].iter().collect();
+        let lose_latent = self.latent[lose as usize].take();
+        let lose_containers = self.containers[lose as usize].take();
+        for c in &lose_containers {
+            self.containers[win.0 as usize].insert(*c);
+        }
+        // Re-adding the loser's latent through `add_atom` restores the
+        // closure invariant for the merged container set.
+        for atom in lose_latent {
+            self.add_atom(win, atom);
+        }
+        // The loser's old containers still need the winner's pre-merge
+        // atoms (the merged class is a superset of what they contained).
+        for c in lose_containers {
             let c = self.find_eps(EpsId(c));
-            if c != ra {
-                for a in &atoms {
+            if c != win {
+                for a in &win_latent {
                     self.add_atom(c, *a);
                 }
             }
@@ -131,30 +302,28 @@ impl Store {
     /// Adds an atom to an effect variable's latent set, maintaining
     /// transitive closure and propagating to containers (worklist).
     pub fn add_atom(&mut self, e: EpsId, atom: AtomI) {
-        let root = self.find_eps(e);
-        let atom = self.canon(atom);
-        if atom == AtomI::Eps(root) {
-            return; // no self loops
-        }
-        if !self.latent[root.0 as usize].insert(atom) {
-            return;
-        }
-        // Transitivity: inserting ε' brings in φ(ε').
-        if let AtomI::Eps(inner) = atom {
-            self.containers[inner.0 as usize].insert(root.0);
-            let inner_latent: Vec<AtomI> =
-                self.latent[inner.0 as usize].iter().copied().collect();
-            for a in inner_latent {
-                self.add_atom(root, a);
+        let mut work: Vec<(EpsId, AtomI)> = vec![(e, atom)];
+        while let Some((e, atom)) = work.pop() {
+            let root = self.find_eps(e);
+            let atom = self.canon(atom);
+            if atom == AtomI::Eps(root) {
+                continue; // no self loops
             }
-        }
-        // Propagate to containers of root.
-        let containers: Vec<u32> = self.containers[root.0 as usize].iter().copied().collect();
-        for c in containers {
-            let c = self.find_eps(EpsId(c));
-            if c != root {
-                self.add_atom(c, atom);
+            if !self.latent[root.0 as usize].insert(atom) {
+                continue;
             }
+            self.bump_epoch();
+            // Transitivity: inserting ε' brings in φ(ε').
+            if let AtomI::Eps(inner) = atom {
+                self.containers[inner.0 as usize].insert(root.0);
+                work.extend(self.latent[inner.0 as usize].iter().map(|a| (root, a)));
+            }
+            // Propagate to containers of root (re-canonicalised at pop).
+            work.extend(
+                self.containers[root.0 as usize]
+                    .iter()
+                    .map(|c| (EpsId(c), atom)),
+            );
         }
     }
 
@@ -165,14 +334,39 @@ impl Store {
         }
     }
 
-    /// The latent set of an effect variable (canonicalised copy).
-    pub fn latent_of(&self, e: EpsId) -> BTreeSet<AtomI> {
+    /// Clears the memos if the store has been mutated since they were
+    /// built. Called at the top of every memoised query.
+    fn refresh_memos(&self) {
+        let now = self.epoch.get();
+        if self.memo_epoch.get() != now {
+            self.latent_memo.borrow_mut().clear();
+            self.closure_memo.borrow_mut().clear();
+            self.memo_epoch.set(now);
+        }
+    }
+
+    /// The latent set of an effect variable (canonicalised, shared).
+    ///
+    /// The result is memoised per root until the next mutation; callers
+    /// that need ownership can clone the inner set.
+    pub fn latent_of(&self, e: EpsId) -> Rc<BTreeSet<AtomI>> {
+        self.refresh_memos();
         let root = self.find_eps(e);
-        self.latent[root.0 as usize]
+        if let Some(rc) = self.latent_memo.borrow().get(&root.0) {
+            self.closure_cache_hits
+                .set(self.closure_cache_hits.get() + 1);
+            return rc.clone();
+        }
+        self.closure_recomputes
+            .set(self.closure_recomputes.get() + 1);
+        let set: BTreeSet<AtomI> = self.latent[root.0 as usize]
             .iter()
-            .map(|a| self.canon(*a))
+            .map(|a| self.canon(a))
             .filter(|a| *a != AtomI::Eps(root))
-            .collect()
+            .collect();
+        let rc = Rc::new(set);
+        self.latent_memo.borrow_mut().insert(root.0, rc.clone());
+        rc
     }
 
     /// Canonicalises an atom set.
@@ -180,21 +374,47 @@ impl Store {
         s.iter().map(|a| self.canon(*a)).collect()
     }
 
+    /// The transitive atom closure of `{Eps(root)}`, memoised per root.
+    fn eps_closure(&self, root: EpsId) -> Rc<BTreeSet<AtomI>> {
+        debug_assert_eq!(self.eps_parent[root.0 as usize].get(), root.0);
+        if let Some(rc) = self.closure_memo.borrow().get(&root.0) {
+            self.closure_cache_hits
+                .set(self.closure_cache_hits.get() + 1);
+            return rc.clone();
+        }
+        self.closure_recomputes
+            .set(self.closure_recomputes.get() + 1);
+        let mut out = BTreeSet::new();
+        out.insert(AtomI::Eps(root));
+        let mut work: Vec<AtomI> = self.latent[root.0 as usize].iter().collect();
+        while let Some(a) = work.pop() {
+            let a = self.canon(a);
+            if out.insert(a) {
+                if let AtomI::Eps(e) = a {
+                    work.extend(self.latent[e.0 as usize].iter());
+                }
+            }
+        }
+        let rc = Rc::new(out);
+        self.closure_memo.borrow_mut().insert(root.0, rc.clone());
+        rc
+    }
+
     /// The transitive region closure of an atom set: all regions reachable
     /// through effect variables' latent sets.
     pub fn region_closure(&self, s: &BTreeSet<AtomI>) -> BTreeSet<RhoId> {
+        self.refresh_memos();
         let mut out = BTreeSet::new();
-        let mut seen: BTreeSet<EpsId> = BTreeSet::new();
-        let mut work: Vec<AtomI> = s.iter().copied().collect();
-        while let Some(a) = work.pop() {
-            match self.canon(a) {
+        for a in s {
+            match self.canon(*a) {
                 AtomI::Rho(r) => {
                     out.insert(r);
                 }
                 AtomI::Eps(e) => {
-                    if seen.insert(e) {
-                        work.extend(self.latent[e.0 as usize].iter().copied());
-                    }
+                    out.extend(self.eps_closure(e).iter().filter_map(|a| match a {
+                        AtomI::Rho(r) => Some(*r),
+                        AtomI::Eps(_) => None,
+                    }));
                 }
             }
         }
@@ -203,13 +423,15 @@ impl Store {
 
     /// The transitive atom closure (regions and effect variables).
     pub fn atom_closure(&self, s: &BTreeSet<AtomI>) -> BTreeSet<AtomI> {
+        self.refresh_memos();
         let mut out = BTreeSet::new();
-        let mut work: Vec<AtomI> = s.iter().copied().collect();
-        while let Some(a) = work.pop() {
-            let a = self.canon(a);
-            if out.insert(a) {
-                if let AtomI::Eps(e) = a {
-                    work.extend(self.latent[e.0 as usize].iter().copied());
+        for a in s {
+            match self.canon(*a) {
+                AtomI::Rho(r) => {
+                    out.insert(AtomI::Rho(r));
+                }
+                AtomI::Eps(e) => {
+                    out.extend(self.eps_closure(e).iter().copied());
                 }
             }
         }
@@ -240,11 +462,12 @@ impl Store {
 
     /// The fully expanded core effect of an eps's latent set.
     pub fn core_effect_of_eps(&mut self, e: EpsId) -> Effect {
+        self.refresh_memos();
         let root = self.find_eps(e);
-        let atoms = self.atom_closure(&self.latent[root.0 as usize].clone());
+        let atoms = self.eps_closure(root);
         let mut out = Effect::new();
-        for a in atoms {
-            match a {
+        for a in atoms.iter() {
+            match *a {
                 AtomI::Rho(r) => {
                     out.insert(Atom::Reg(self.core_rho(r)));
                 }
@@ -392,5 +615,84 @@ mod tests {
         let r = st.fresh_rho();
         st.add_atom(e2, AtomI::Rho(r));
         assert!(st.latent_of(c).contains(&AtomI::Rho(r)));
+    }
+
+    #[test]
+    fn path_compression_flattens_chains() {
+        // Build a long rho chain, then check one find collapses it: a
+        // second find of the deepest node must cost O(1) hops (observable
+        // as the parent pointing directly at the root).
+        let mut st = Store::new();
+        let vars: Vec<RhoId> = (0..64).map(|_| st.fresh_rho()).collect();
+        for w in vars.windows(2) {
+            st.union_rho(w[0], w[1]);
+        }
+        let root = st.find_rho(vars[0]);
+        for v in &vars {
+            assert_eq!(st.find_rho(*v), root);
+        }
+        // After compression every node's parent is at most one hop from
+        // the root (path halving guarantees the grandparent step).
+        for v in &vars {
+            let p = st.rho_parent[v.0 as usize].get();
+            let pp = st.rho_parent[p as usize].get();
+            assert_eq!(pp, root.0);
+        }
+    }
+
+    #[test]
+    fn path_compression_preserves_core_resolution() {
+        // `core_resolution_is_stable` must survive interleaved finds
+        // (compression) and rank-based unions in both orders.
+        let mut st = Store::new();
+        let a = st.fresh_rho();
+        let b = st.fresh_rho();
+        let c = st.fresh_rho();
+        st.union_rho(b, a); // rank tiebreak: lower id wins regardless of order
+        let ca = st.core_rho(a);
+        st.union_rho(c, a); // union after resolution migrates the core entry
+        assert_eq!(st.core_rho(c), ca);
+        assert_eq!(st.core_rho(b), ca);
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        let ce = st.core_eps(e2);
+        st.union_eps(e1, e2);
+        assert_eq!(st.core_eps(e1), ce);
+        assert_eq!(st.core_eps(e2), ce);
+    }
+
+    #[test]
+    fn memo_invalidation_on_mutation() {
+        let mut st = Store::new();
+        let e = st.fresh_eps();
+        let r1 = st.fresh_rho();
+        st.add_atom(e, AtomI::Rho(r1));
+        let before = st.latent_of(e);
+        assert!(before.contains(&AtomI::Rho(r1)));
+        // Repeat query is a cache hit with an identical set.
+        let hits0 = st.stats().closure_cache_hits;
+        let again = st.latent_of(e);
+        assert_eq!(before, again);
+        assert!(st.stats().closure_cache_hits > hits0);
+        // A mutation invalidates: the next query sees the new atom.
+        let r2 = st.fresh_rho();
+        st.add_atom(e, AtomI::Rho(r2));
+        let after = st.latent_of(e);
+        assert!(after.contains(&AtomI::Rho(r2)));
+        // The caller's old snapshot is untouched.
+        assert!(!before.contains(&AtomI::Rho(r2)));
+    }
+
+    #[test]
+    fn stats_count_finds_and_unions() {
+        let mut st = Store::new();
+        let a = st.fresh_rho();
+        let b = st.fresh_rho();
+        let before = st.stats();
+        st.union_rho(a, b);
+        st.find_rho(a);
+        let after = st.stats();
+        assert_eq!(after.unions, before.unions + 1);
+        assert!(after.find_ops > before.find_ops);
     }
 }

@@ -5,7 +5,13 @@ use rml_infer::{infer, Options, Strategy};
 fn try_infer(src: &str) -> Result<rml_infer::Output, rml_infer::InferError> {
     let prog = rml_syntax::parse_program(src).unwrap();
     let typed = rml_hm::infer_program(&prog).unwrap();
-    infer(&typed, Options { strategy: Strategy::Rg, ..Options::default() })
+    infer(
+        &typed,
+        Options {
+            strategy: Strategy::Rg,
+            ..Options::default()
+        },
+    )
 }
 
 #[test]
@@ -40,7 +46,14 @@ fn strategies_produce_distinct_terms_for_figure1() {
     let mk = |s| {
         let prog = rml_syntax::parse_program(src).unwrap();
         let typed = rml_hm::infer_program(&prog).unwrap();
-        let out = infer(&typed, Options { strategy: s, ..Options::default() }).unwrap();
+        let out = infer(
+            &typed,
+            Options {
+                strategy: s,
+                ..Options::default()
+            },
+        )
+        .unwrap();
         rml_core::pretty::term_to_string(&out.term)
     };
     // The rg term keeps the string's region alive across the closure
@@ -50,7 +63,9 @@ fn strategies_produce_distinct_terms_for_figure1() {
     let rgm = mk(Strategy::RgMinus);
     let norm = |s: &str| {
         // Strip variable numbers; compare letregion nesting shape only.
-        s.chars().filter(|c| "letregion".contains(*c) || *c == '(' || *c == ')').collect::<String>()
+        s.chars()
+            .filter(|c| "letregion".contains(*c) || *c == '(' || *c == ')')
+            .collect::<String>()
     };
     assert_ne!(norm(&rg), norm(&rgm), "rg:\n{rg}\nrg-:\n{rgm}");
 }
@@ -66,10 +81,7 @@ fn empty_program_infers_to_unit() {
 #[test]
 fn stats_are_monotone_in_program_size() {
     let small = try_infer("fun id x = x fun main () = id 1").unwrap();
-    let big = try_infer(
-        "fun id x = x fun id2 x = x fun main () = id 1 + id2 2 + id 3",
-    )
-    .unwrap();
+    let big = try_infer("fun id x = x fun id2 x = x fun main () = id 1 + id2 2 + id 3").unwrap();
     assert!(big.stats.total_fns >= small.stats.total_fns);
     assert!(big.stats.total_insts >= small.stats.total_insts);
 }

@@ -3,16 +3,19 @@
 
 use rml_core::semantics::{EvalError, Machine};
 use rml_core::typing::{Checker, GcCheck};
-use rml_core::{Term, TypeEnv, Value};
+use rml_core::{TypeEnv, Value};
 use rml_infer::{infer, Options, Strategy};
 
 fn pipeline(src: &str, strategy: Strategy) -> rml_infer::Output {
     let prog = rml_syntax::parse_program(src).unwrap();
     let typed = rml_hm::infer_program(&prog).unwrap();
-    infer(&typed, Options {
-        strategy,
-        ..Options::default()
-    })
+    infer(
+        &typed,
+        Options {
+            strategy,
+            ..Options::default()
+        },
+    )
     .unwrap()
 }
 
@@ -230,11 +233,7 @@ fn figure8_spurious_dependency() {
     });
     assert_eq!(run_monitored(&out).unwrap(), Value::Unit);
     assert_eq!(out.stats.spurious_fns, 2, "stats: {:?}", out.stats);
-    assert!(out
-        .stats
-        .spurious_fn_names
-        .iter()
-        .any(|n| n == "g"));
+    assert!(out.stats.spurious_fn_names.iter().any(|n| n == "g"));
 }
 
 #[test]
@@ -254,10 +253,7 @@ fn figure8_rgminus_is_unsound() {
 #[test]
 fn letregion_is_actually_inserted() {
     // A dead intermediate pair should get a region that is deallocated.
-    let out = pipeline(
-        "fun main () = let val p = (1, 2) in #1 p end",
-        Strategy::Rg,
-    );
+    let out = pipeline("fun main () = let val p = (1, 2) in #1 p end", Strategy::Rg);
     let printed = rml_core::pretty::term_to_string(&out.term);
     assert!(printed.contains("letregion"), "term: {printed}");
     assert_eq!(run_monitored(&out).unwrap(), Value::Int(1));

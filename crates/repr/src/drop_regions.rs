@@ -21,12 +21,7 @@ fn walk(e: &Term, out: &mut BTreeMap<String, (usize, usize)>) {
             let total = d.scheme.rvars.len();
             let mut used = BTreeSet::new();
             put_regions(&d.body, &mut used);
-            let droppable = d
-                .scheme
-                .rvars
-                .iter()
-                .filter(|r| !used.contains(r))
-                .count();
+            let droppable = d.scheme.rvars.iter().filter(|r| !used.contains(r)).count();
             out.insert(d.f.to_string(), (droppable, total));
         }
     }
@@ -94,9 +89,7 @@ mod tests {
 
     #[test]
     fn every_fun_is_reported() {
-        let info = analyze(
-            "fun f x = x fun g y = (y, y) fun main () = #1 (g (f 1))",
-        );
+        let info = analyze("fun f x = x fun g y = (y, y) fun main () = #1 (g (f 1))");
         assert!(info.contains_key("f"));
         assert!(info.contains_key("g"));
         assert!(info.contains_key("main"));

@@ -58,35 +58,26 @@ fn walk(e: &Term, f: &mut impl FnMut(&[RegVar], &Term)) {
 /// Visits allocation sites targeting `rv` inside `e`; `depth` counts
 /// enclosing function bodies. `many` is forced when the region escapes via
 /// a region application.
-fn sites(
-    e: &Term,
-    rv: RegVar,
-    depth: usize,
-    on_site: &mut impl FnMut(usize),
-    many: &mut bool,
-) {
+fn sites(e: &Term, rv: RegVar, depth: usize, on_site: &mut impl FnMut(usize), many: &mut bool) {
     let hit = |r: RegVar| r == rv;
     match e {
         Term::Str(_, r) | Term::Pair(_, _, r) | Term::Cons(_, _, r) | Term::RefNew(_, r)
-            if hit(*r) => {
-                on_site(depth);
-            }
-        Term::Lam { at, .. }
-            if hit(*at) => {
-                on_site(depth);
-            }
-        Term::Exn { at, .. }
-            if hit(*at) => {
-                on_site(depth);
-            }
-        Term::Prim(_, _, Some(r))
-            if hit(*r) => {
-                on_site(depth);
-            }
-        Term::Fix { ats, .. }
-            if ats.iter().any(|r| hit(*r)) => {
-                on_site(depth);
-            }
+            if hit(*r) =>
+        {
+            on_site(depth);
+        }
+        Term::Lam { at, .. } if hit(*at) => {
+            on_site(depth);
+        }
+        Term::Exn { at, .. } if hit(*at) => {
+            on_site(depth);
+        }
+        Term::Prim(_, _, Some(r)) if hit(*r) => {
+            on_site(depth);
+        }
+        Term::Fix { ats, .. } if ats.iter().any(|r| hit(*r)) => {
+            on_site(depth);
+        }
         Term::RApp { inst, at, .. } => {
             if hit(*at) {
                 on_site(depth);

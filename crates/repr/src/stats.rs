@@ -58,10 +58,9 @@ mod tests {
 
     #[test]
     fn counts_constructs() {
-        let prog = rml_syntax::parse_program(
-            "fun main () = let val p = (1, \"x\") in size (#2 p) end",
-        )
-        .unwrap();
+        let prog =
+            rml_syntax::parse_program("fun main () = let val p = (1, \"x\") in size (#2 p) end")
+                .unwrap();
         let typed = rml_hm::infer_program(&prog).unwrap();
         let out = rml_infer::infer(&typed, Default::default()).unwrap();
         let s = alloc_stats(&out.term);

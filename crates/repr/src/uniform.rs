@@ -158,11 +158,9 @@ mod tests {
     #[test]
     fn mixed_region_is_not_uniform() {
         // Pair and string share a region through the result type.
-        let u = analyze(
-            "fun main () = let val p = (\"a\", (1, 2)) in size (#1 p) end",
-        );
+        let u = analyze("fun main () = let val p = (\"a\", (1, 2)) in size (#1 p) end");
         // Whatever is uniform, nothing maps a string region.
-        for (_, k) in &u {
+        for k in u.values() {
             assert!(matches!(k, HomoKind::Pair | HomoKind::Cons | HomoKind::Ref));
         }
     }

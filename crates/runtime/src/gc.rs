@@ -18,8 +18,8 @@
 //! remembered set for old-to-young pointers.
 
 use crate::heap::{Heap, RegionKind};
-use std::collections::HashMap;
 use crate::word::{Header, ObjKind, Word};
+use std::collections::HashMap;
 
 /// A collection error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,10 +77,8 @@ impl Heap {
             if region.kind != RegionKind::Infinite {
                 continue;
             }
-            let (keep, evac): (Vec<u32>, Vec<u32>) = region
-                .pages
-                .drain(..)
-                .partition(|p| !evacuate[*p as usize]);
+            let (keep, evac): (Vec<u32>, Vec<u32>) =
+                region.pages.drain(..).partition(|p| !evacuate[*p as usize]);
             region.pages = keep;
             old_pages.extend(evac);
         }
@@ -226,7 +224,12 @@ impl Heap {
 
     /// Raw copy used by the collector (does not count as program
     /// allocation).
-    fn copy_object(&mut self, region: crate::heap::RegionId, header: Header, payload: &[u64]) -> Word {
+    fn copy_object(
+        &mut self,
+        region: crate::heap::RegionId,
+        header: Header,
+        payload: &[u64],
+    ) -> Word {
         let before_alloc = self.stats.bytes_allocated;
         let before_objs = self.stats.objects_allocated;
         let before_since = self.bytes_since_gc;
@@ -307,7 +310,6 @@ impl Heap {
 mod tests {
     use super::*;
     use crate::heap::{Heap, RegionKind};
-use std::collections::HashMap;
 
     fn pair(h: &mut Heap, r: crate::heap::RegionId, a: Word, b: Word) -> Word {
         h.alloc(r, ObjKind::Pair, 0, &[a.0, b.0])

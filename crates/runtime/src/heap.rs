@@ -143,10 +143,7 @@ impl Heap {
         });
         self.live_regions.push(id);
         self.stats.regions_created += 1;
-        self.stats.peak_regions = self
-            .stats
-            .peak_regions
-            .max(self.live_regions.len() as u64);
+        self.stats.peak_regions = self.stats.peak_regions.max(self.live_regions.len() as u64);
         id
     }
 
@@ -268,8 +265,7 @@ impl Heap {
         let page_idx = match region.pages.last() {
             Some(&p)
                 if !self.pages[p as usize].sealed
-                    && self.pages[p as usize].used + need
-                        <= self.pages[p as usize].words.len() =>
+                    && self.pages[p as usize].used + need <= self.pages[p as usize].words.len() =>
             {
                 p
             }
@@ -341,7 +337,11 @@ impl Heap {
     /// Returns [`DanglingAccess`] on dangling pointers.
     pub fn field(&self, w: Word, i: usize, context: &'static str) -> Result<Word, DanglingAccess> {
         let (page, off) = self.check_ptr(w, context)?;
-        let skip = if self.uniform_of_page(page).is_some() { 0 } else { 1 };
+        let skip = if self.uniform_of_page(page).is_some() {
+            0
+        } else {
+            1
+        };
         Ok(Word(
             self.pages[page as usize].words[off as usize + skip + i],
         ))
@@ -362,7 +362,11 @@ impl Heap {
         context: &'static str,
     ) -> Result<(), DanglingAccess> {
         let (page, off) = self.check_ptr(w, context)?;
-        let skip = if self.uniform_of_page(page).is_some() { 0 } else { 1 };
+        let skip = if self.uniform_of_page(page).is_some() {
+            0
+        } else {
+            1
+        };
         self.pages[page as usize].words[off as usize + skip + i] = v.0;
         if self.generational && !self.pages[page as usize].young && v.is_pointer() {
             let (vp, _, _) = v.ptr_parts();
@@ -551,7 +555,9 @@ mod more_tests {
     #[test]
     fn peak_regions_tracks_high_water_mark() {
         let mut h = Heap::new();
-        let rs: Vec<_> = (0..5).map(|_| h.create_region(RegionKind::Infinite)).collect();
+        let rs: Vec<_> = (0..5)
+            .map(|_| h.create_region(RegionKind::Infinite))
+            .collect();
         for r in &rs {
             h.drop_region(*r);
         }

@@ -269,12 +269,8 @@ impl Expr {
     /// Calls `f` on each immediate child expression.
     pub fn for_children<F: FnMut(&Expr)>(&self, mut f: F) {
         match self {
-            Expr::Unit
-            | Expr::Int(_)
-            | Expr::Str(_)
-            | Expr::Bool(_)
-            | Expr::Var(_)
-            | Expr::Nil => {}
+            Expr::Unit | Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Var(_) | Expr::Nil => {
+            }
             Expr::Lam { body, .. } => f(body),
             Expr::App(a, b)
             | Expr::Pair(a, b)

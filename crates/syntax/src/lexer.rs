@@ -48,9 +48,9 @@ pub enum Tok {
     RBracket,
     Comma,
     Semi,
-    DArrow,  // =>
-    Arrow,   // ->
-    Equal,   // =
+    DArrow,   // =>
+    Arrow,    // ->
+    Equal,    // =
     NotEqual, // <>
     Less,
     LessEq,
@@ -513,17 +513,16 @@ mod tests {
     fn lexes_strings_with_escapes() {
         assert_eq!(
             toks(r#""oh" ^ "no\n""#),
-            vec![
-                Tok::Str("oh".into()),
-                Tok::Caret,
-                Tok::Str("no\n".into())
-            ]
+            vec![Tok::Str("oh".into()), Tok::Caret, Tok::Str("no\n".into())]
         );
     }
 
     #[test]
     fn nested_comments() {
-        assert_eq!(toks("1 (* a (* b *) c *) 2"), vec![Tok::Int(1), Tok::Int(2)]);
+        assert_eq!(
+            toks("1 (* a (* b *) c *) 2"),
+            vec![Tok::Int(1), Tok::Int(2)]
+        );
     }
 
     #[test]
@@ -538,7 +537,10 @@ mod tests {
 
     #[test]
     fn type_variables() {
-        assert_eq!(toks("'a 'b2"), vec![Tok::TyVar("a".into()), Tok::TyVar("b2".into())]);
+        assert_eq!(
+            toks("'a 'b2"),
+            vec![Tok::TyVar("a".into()), Tok::TyVar("b2".into())]
+        );
     }
 
     #[test]

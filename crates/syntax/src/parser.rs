@@ -219,7 +219,9 @@ impl Parser {
             }
             other => Err(self.err_here(format!(
                 "expected declaration, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -302,7 +304,9 @@ impl Parser {
             }
             other => Err(self.err_here(format!(
                 "expected parameter, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -672,7 +676,9 @@ impl Parser {
             }
             other => Err(self.err_here(format!(
                 "expected expression, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -828,7 +834,10 @@ mod tests {
 
     #[test]
     fn list_literal_desugars_to_cons() {
-        assert_eq!(parse_expr("[1, 2]").unwrap(), parse_expr("1 :: 2 :: nil").unwrap());
+        assert_eq!(
+            parse_expr("[1, 2]").unwrap(),
+            parse_expr("1 :: 2 :: nil").unwrap()
+        );
         assert_eq!(parse_expr("[]").unwrap(), Expr::Nil);
     }
 
@@ -914,7 +923,10 @@ mod tests {
 
     #[test]
     fn exceptions_parse() {
-        let p = parse_program("exception E of string fun f x = raise x val g = fn x => x handle E s => s").unwrap();
+        let p = parse_program(
+            "exception E of string fun f x = raise x val g = fn x => x handle E s => s",
+        )
+        .unwrap();
         assert_eq!(p.decls.len(), 3);
     }
 

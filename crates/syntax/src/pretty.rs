@@ -350,9 +350,10 @@ mod tests {
     fn ty_printing() {
         use crate::ast::TyAnn::*;
         let t = Arrow(
-            Box::new(Pair(Box::new(Int), Box::new(List(Box::new(Var(
-                crate::symbol::Symbol::intern("a"),
-            )))))),
+            Box::new(Pair(
+                Box::new(Int),
+                Box::new(List(Box::new(Var(crate::symbol::Symbol::intern("a"))))),
+            )),
             Box::new(Unit),
         );
         assert_eq!(ty_to_string(&t), "int * 'a list -> unit");

@@ -42,32 +42,36 @@ fn expr() -> impl Strategy<Value = Expr> {
                 ann: None,
                 body: Box::new(b),
             }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::App(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::App(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
             (1u8..3, inner.clone()).prop_map(|(i, e)| Expr::Sel(i, Box::new(e))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Expr::If(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
             (binop(), inner.clone(), inner.clone())
                 .prop_map(|(op, a, b)| Expr::Prim(op, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(h, t)| Expr::Cons(Box::new(h), Box::new(t))),
-            (inner.clone(), inner.clone(), ident(), ident(), inner.clone()).prop_map(
-                |(s, n, h, t, c)| Expr::CaseList {
+            (inner.clone(), inner.clone()).prop_map(|(h, t)| Expr::Cons(Box::new(h), Box::new(t))),
+            (
+                inner.clone(),
+                inner.clone(),
+                ident(),
+                ident(),
+                inner.clone()
+            )
+                .prop_map(|(s, n, h, t, c)| Expr::CaseList {
                     scrut: Box::new(s),
                     nil_rhs: Box::new(n),
                     head: h,
                     tail: t,
                     cons_rhs: Box::new(c),
-                }
-            ),
+                }),
             inner.clone().prop_map(|e| Expr::Ref(Box::new(e))),
             inner.clone().prop_map(|e| Expr::Deref(Box::new(e))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::Assign(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
             (ident(), inner.clone(), inner.clone()).prop_map(|(x, rhs, body)| Expr::Let {
                 decls: vec![Decl::Val(x, rhs)],
                 body: Box::new(body),

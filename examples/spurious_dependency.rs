@@ -45,7 +45,10 @@ fn main() {
 
     rml::check(&c).expect("GC-safe");
     let out = execute(&c, &ExecOpts::default()).expect("run failed");
-    println!("\nresult: {} after {} collections — safe.", out.value, out.stats.gc_count);
+    println!(
+        "\nresult: {} after {} collections — safe.",
+        out.value, out.stats.gc_count
+    );
 
     println!("\nUnder rg- the same program crashes the collector:");
     let bad = compile(FIGURE8, Strategy::RgMinus).unwrap();

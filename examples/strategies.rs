@@ -12,9 +12,12 @@ use std::time::Instant;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "msort".into());
-    let prog = programs::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown program `{name}`; try one of {:?}",
-            programs::suite().iter().map(|p| p.name).collect::<Vec<_>>()));
+    let prog = programs::by_name(&name).unwrap_or_else(|| {
+        panic!(
+            "unknown program `{name}`; try one of {:?}",
+            programs::suite().iter().map(|p| p.name).collect::<Vec<_>>()
+        )
+    });
     println!("benchmark `{}` ({} loc)\n", prog.name, prog.loc());
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>8} {:>9}",

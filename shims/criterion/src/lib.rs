@@ -1,0 +1,140 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the subset of criterion's API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, and `Bencher::iter` — as a plain
+//! wall-clock runner that prints `benchmark: median time/iter` lines.
+//! No statistical analysis, plots, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), self.sample_size.unwrap_or(10), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated calls.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        let out = f();
+        self.samples.push(t0.elapsed());
+        black_box(out);
+    }
+}
+
+/// An identity function the optimiser must assume reads its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher::default();
+    // One warm-up call, then the timed samples.
+    f(&mut b);
+    b.samples.clear();
+    while b.samples.len() < samples {
+        f(&mut b);
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    println!("{name}: median {median:?} over {samples} samples");
+}
+
+/// Declares a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("b", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+}

@@ -1,0 +1,682 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this shim implements exactly the subset of proptest's API that the
+//! workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map`/`prop_recursive`/`boxed`, range / tuple / `Just` / string
+//! class-pattern strategies, `proptest::collection::{vec, btree_set,
+//! btree_map}`, [`any`] for primitives, the `proptest!` test macro with
+//! `#![proptest_config(...)]`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its deterministic case
+//!   index instead of a minimised input;
+//! * **deterministic generation** — the RNG is seeded from the test's
+//!   module path and name, so every run explores the same inputs
+//!   (rerunning a failed test reproduces the failure exactly);
+//! * `proptest-regressions` files are ignored.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// --- deterministic RNG -------------------------------------------------
+
+/// SplitMix64: tiny, uniform, and plenty for test-input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from raw state.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seeds deterministically from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// --- errors and config -------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case.
+    Reject,
+    /// `prop_assert*` failed: fail the test.
+    Fail(String),
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// --- the Strategy trait ------------------------------------------------
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for
+    /// strictly smaller instances; nesting is bounded by `depth`. The
+    /// `desired_size`/`expected_branch_size` hints are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = BoxedStrategy::union_pair(self.clone().boxed(), deeper);
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+impl<T: Debug + 'static> BoxedStrategy<T> {
+    fn union_pair(a: BoxedStrategy<T>, b: BoxedStrategy<T>) -> BoxedStrategy<T> {
+        Union::new(vec![a, b]).boxed()
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between alternatives (what `prop_oneof!` builds).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// --- primitive strategies ----------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from a pattern. Supported subset: a single
+/// character class with a repetition count — `"[a-z 0-9_]{m,n}"` — or a
+/// literal string with no regex metacharacters.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let counts = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    Some((chars, counts.0.parse().ok()?, counts.1.parse().ok()?))
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates by a plain function (used for [`Arbitrary`] impls).
+#[derive(Clone)]
+pub struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T: Debug> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! arbitrary_impl {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FnStrategy<$t>;
+            fn arbitrary() -> FnStrategy<$t> {
+                FnStrategy($gen)
+            }
+        }
+    )*};
+}
+
+arbitrary_impl! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u64() as i8,
+    i16 => |rng| rng.next_u64() as i16,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    isize => |rng| rng.next_u64() as isize,
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// --- collections -------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::fmt::Debug;
+
+    /// An element-count range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    /// Vectors of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Sets of `element` with *up to* the sampled number of elements
+    /// (duplicates collapse, as in real proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Maps from `key` to `value` with up to the sampled number of
+    /// entries.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+// --- macros ------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a proptest body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}: `{:?}` == `{:?}`",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Skips the case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The proptest test-block macro: each `fn name(x in strategy) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ <$crate::ProptestConfig as ::std::default::Default>::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at deterministic case {}: {}",
+                                stringify!($name),
+                                __case,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(7);
+        for _ in 0..200 {
+            let v = (0u32..5, -3i64..3).generate(&mut rng);
+            assert!(v.0 < 5 && (-3..3).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn class_pattern_strings_match() {
+        let mut rng = crate::TestRng::from_seed(9);
+        for _ in 0..100 {
+            let s = "[a-c ]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c == ' ' || ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        let leaf = prop_oneof![Just(0u32)];
+        let strat = leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a.max(b) + 1)
+        });
+        let mut rng = crate::TestRng::from_seed(11);
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_runs(v in crate::collection::vec(0usize..10, 0..8)) {
+            prop_assert!(v.len() < 8);
+            let in_range = v.iter().filter(|&&x| x < 10).count();
+            prop_assert_eq!(v.len(), in_range);
+        }
+    }
+}

@@ -84,13 +84,19 @@ mod tests {
     use crate::{compile_with_basis, execute, ExecOpts, RunValue, Strategy};
 
     fn eval(expr: &str) -> RunValue {
-        let c = compile_with_basis(&format!("fun main () = {expr}"), Strategy::Rg).unwrap();
-        execute(&c, &ExecOpts::default()).unwrap().value
+        let src = format!("fun main () = {expr}");
+        crate::run_with_big_stack(move || {
+            let c = compile_with_basis(&src, Strategy::Rg).unwrap();
+            execute(&c, &ExecOpts::default()).unwrap().value
+        })
     }
 
     #[test]
     fn combinators() {
-        assert_eq!(eval("(o (fn x => x + 1, fn x => x * 2)) 5"), RunValue::Int(11));
+        assert_eq!(
+            eval("(o (fn x => x + 1, fn x => x * 2)) 5"),
+            RunValue::Int(11)
+        );
         assert_eq!(eval("id 9"), RunValue::Int(9));
         assert_eq!(eval("(const 3) \"ignored\""), RunValue::Int(3));
     }
@@ -98,7 +104,10 @@ mod tests {
     #[test]
     fn list_functions() {
         assert_eq!(eval("length (upto (1, 10))"), RunValue::Int(10));
-        assert_eq!(eval("sum (map (fn x => x * x) [1, 2, 3])"), RunValue::Int(14));
+        assert_eq!(
+            eval("sum (map (fn x => x * x) [1, 2, 3])"),
+            RunValue::Int(14)
+        );
         assert_eq!(eval("sum (rev (upto (1, 4)))"), RunValue::Int(10));
         assert_eq!(eval("nth (append ([1, 2], [3, 4]), 2)"), RunValue::Int(3));
         assert_eq!(
@@ -109,7 +118,10 @@ mod tests {
             eval("sum (filter (fn x => x mod 2 = 0) (upto (1, 10)))"),
             RunValue::Int(30)
         );
-        assert_eq!(eval("if member (3, [1, 2, 3]) then 1 else 0"), RunValue::Int(1));
+        assert_eq!(
+            eval("if member (3, [1, 2, 3]) then 1 else 0"),
+            RunValue::Int(1)
+        );
         assert_eq!(eval("sum (take (upto (1, 10), 3))"), RunValue::Int(6));
         assert_eq!(eval("sum (drop (upto (1, 10), 7))"), RunValue::Int(27));
         assert_eq!(eval("length (zip ([1, 2, 3], [4, 5]))"), RunValue::Int(2));
@@ -120,8 +132,14 @@ mod tests {
     fn options_encoded_as_lists() {
         assert_eq!(eval("opt_getOpt (some 5, 0)"), RunValue::Int(5));
         assert_eq!(eval("opt_getOpt (none, 7)"), RunValue::Int(7));
-        assert_eq!(eval("if opt_isSome (some 1) then 1 else 0"), RunValue::Int(1));
-        assert_eq!(eval("opt_getOpt (opt_map (fn x => x + 1) (some 4), 0)"), RunValue::Int(5));
+        assert_eq!(
+            eval("if opt_isSome (some 1) then 1 else 0"),
+            RunValue::Int(1)
+        );
+        assert_eq!(
+            eval("opt_getOpt (opt_map (fn x => x + 1) (some 4), 0)"),
+            RunValue::Int(5)
+        );
         assert_eq!(
             eval("opt_getOpt ((opt_compose (fn x => x * 2, fn x => if x > 0 then some x else none)) 21, 0)"),
             RunValue::Int(42)

@@ -77,7 +77,10 @@ fn main() {
         }
     }
     if print_term {
-        println!("{}", rml_core::pretty::term_to_string(&compiled.output.term));
+        println!(
+            "{}",
+            rml_core::pretty::term_to_string(&compiled.output.term)
+        );
     }
     if do_check {
         match check(&compiled) {

@@ -34,7 +34,20 @@ pub mod pipeline;
 pub mod programs;
 
 pub use pipeline::{
-    compile, compile_with_basis, execute, check, CompileError, Compiled, ExecOpts,
+    check, compile, compile_count, compile_with_basis, execute, CompileError, CompileTimings,
+    Compiled, ExecOpts,
 };
 pub use rml_eval::{RunOutcome, RunValue};
 pub use rml_infer::{SpuriousStyle, Strategy};
+
+/// Runs `f` on a thread with a 64 MiB stack. The recursive passes over
+/// basis-sized terms exceed the default 2 MiB test-thread stack in
+/// unoptimised builds, so tests that compile the basis run under this.
+pub fn run_with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(f)
+        .unwrap()
+        .join()
+        .unwrap()
+}

@@ -1,10 +1,37 @@
 //! The compilation pipeline: parse → type → region-infer → analyse →
 //! execute.
 
-use rml_eval::{GcPolicy, RunError, RunOutcome, RunOpts};
+use rml_eval::{GcPolicy, RunError, RunOpts, RunOutcome};
 use rml_infer::{Options, SpuriousStyle, Strategy};
 use rml_repr::ReprInfo;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Process-wide count of completed compilations (any strategy). The
+/// benchmark harness uses deltas of this counter to assert its
+/// compilation cache actually shares work.
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// The number of compilations performed by this process so far.
+pub fn compile_count() -> u64 {
+    COMPILES.load(Ordering::Relaxed)
+}
+
+/// Wall-clock time spent in each compilation phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileTimings {
+    /// Lexing + parsing.
+    pub parse: Duration,
+    /// Hindley–Milner typing.
+    pub types: Duration,
+    /// Region inference.
+    pub regions: Duration,
+    /// Representation analyses.
+    pub repr: Duration,
+    /// End-to-end compilation time.
+    pub total: Duration,
+}
 
 /// A compiled program.
 #[derive(Debug)]
@@ -19,6 +46,8 @@ pub struct Compiled {
     pub repr: ReprInfo,
     /// The strategy used.
     pub strategy: Strategy,
+    /// Per-phase compilation wall times.
+    pub timings: CompileTimings,
 }
 
 /// A compilation error from any stage.
@@ -60,19 +89,33 @@ pub fn compile_opts(
     strategy: Strategy,
     style: SpuriousStyle,
 ) -> Result<Compiled, CompileError> {
-    let prog =
-        rml_syntax::parse_program(src).map_err(|e| CompileError::Parse(e.to_string()))?;
-    let typed =
-        rml_hm::infer_program(&prog).map_err(|e| CompileError::Type(e.to_string()))?;
+    let start = Instant::now();
+    let prog = rml_syntax::parse_program(src).map_err(|e| CompileError::Parse(e.to_string()))?;
+    let parse = start.elapsed();
+    let t = Instant::now();
+    let typed = rml_hm::infer_program(&prog).map_err(|e| CompileError::Type(e.to_string()))?;
+    let types = t.elapsed();
+    let t = Instant::now();
     let output = rml_infer::infer(&typed, Options { strategy, style })
         .map_err(|e| CompileError::Region(e.to_string()))?;
+    let regions = t.elapsed();
+    let t = Instant::now();
     let repr = rml_repr::analyze(&output.term);
+    let repr_time = t.elapsed();
+    COMPILES.fetch_add(1, Ordering::Relaxed);
     Ok(Compiled {
         source: src.to_string(),
         typed,
         output,
         repr,
         strategy,
+        timings: CompileTimings {
+            parse,
+            types,
+            regions,
+            repr: repr_time,
+            total: start.elapsed(),
+        },
     })
 }
 
@@ -204,10 +247,12 @@ mod tests {
 
     #[test]
     fn basis_compiles_under_all_strategies() {
-        for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
-            let c = compile_with_basis("fun main () = length [1, 2, 3]", s).unwrap();
-            let out = execute(&c, &ExecOpts::default()).unwrap();
-            assert_eq!(out.value, RunValue::Int(3));
-        }
+        crate::run_with_big_stack(|| {
+            for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
+                let c = compile_with_basis("fun main () = length [1, 2, 3]", s).unwrap();
+                let out = execute(&c, &ExecOpts::default()).unwrap();
+                assert_eq!(out.value, RunValue::Int(3));
+            }
+        });
     }
 }

@@ -29,10 +29,7 @@ pub struct Program {
 impl Program {
     /// Lines of code of the program (excluding basis), Figure 9's `loc`.
     pub fn loc(&self) -> usize {
-        self.source
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .count()
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
     }
 }
 
@@ -376,11 +373,15 @@ mod tests {
 
     #[test]
     fn all_programs_compile_and_agree_across_strategies() {
+        crate::run_with_big_stack(body);
+    }
+
+    fn body() {
         for p in suite() {
             let mut results = Vec::new();
             for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
-                let c = compile_with_basis(p.source, s)
-                    .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+                let c =
+                    compile_with_basis(p.source, s).unwrap_or_else(|e| panic!("{}: {e}", p.name));
                 let out = execute(&c, &ExecOpts::default())
                     .unwrap_or_else(|e| panic!("{} [{s:?}]: {e}", p.name));
                 results.push(out.value);

@@ -10,32 +10,38 @@ use rml::{compile, Strategy};
 
 #[test]
 fn exactly_three_spurious_functions_in_the_basis() {
-    let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
-    let names = &c.output.stats.spurious_fn_names;
-    assert_eq!(
-        c.output.stats.spurious_fns, 3,
-        "spurious functions: {names:?}"
-    );
-    for expected in ["o", "opt_compose", "opt_mapPartial"] {
-        assert!(
-            names.iter().any(|n| n == expected),
-            "`{expected}` should be spurious; got {names:?}"
+    rml::run_with_big_stack(|| {
+        let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
+        let names = &c.output.stats.spurious_fn_names;
+        assert_eq!(
+            c.output.stats.spurious_fns, 3,
+            "spurious functions: {names:?}"
         );
-    }
+        for expected in ["o", "opt_compose", "opt_mapPartial"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "`{expected}` should be spurious; got {names:?}"
+            );
+        }
+    });
 }
 
 #[test]
 fn basis_type_checks_under_the_full_g_relation() {
-    let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
-    rml::check(&c).unwrap();
+    rml::run_with_big_stack(|| {
+        let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
+        rml::check(&c).unwrap();
+    });
 }
 
 #[test]
 fn basis_fcns_ratio_reported() {
-    // Figure 9's `fcns` column is "spurious functions / total functions".
-    let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
-    assert!(c.output.stats.total_fns > 20);
-    assert!(c.output.stats.spurious_fns <= c.output.stats.total_fns);
+    rml::run_with_big_stack(|| {
+        // Figure 9's `fcns` column is "spurious functions / total functions".
+        let c = compile(rml::basis::BASIS, Strategy::Rg).unwrap();
+        assert!(c.output.stats.total_fns > 20);
+        assert!(c.output.stats.spurious_fns <= c.output.stats.total_fns);
+    });
 }
 
 #[test]

@@ -6,16 +6,19 @@ use rml::{compile_with_basis, execute, ExecOpts, Strategy};
 const FAST: &[&str] = &["fib", "msort", "sieve", "compose", "queens"];
 
 fn run(name: &str, strategy: Strategy, baseline: bool) -> rml::RunOutcome {
-    let p = rml::programs::by_name(name).unwrap();
-    let c = compile_with_basis(p.source, strategy).unwrap();
-    execute(
-        &c,
-        &ExecOpts {
-            baseline,
-            ..ExecOpts::default()
-        },
-    )
-    .unwrap()
+    let name = name.to_string();
+    rml::run_with_big_stack(move || {
+        let p = rml::programs::by_name(&name).unwrap();
+        let c = compile_with_basis(p.source, strategy).unwrap();
+        execute(
+            &c,
+            &ExecOpts {
+                baseline,
+                ..ExecOpts::default()
+            },
+        )
+        .unwrap()
+    })
 }
 
 #[test]
@@ -60,20 +63,24 @@ fn rg_rgminus_execute_the_same_number_of_steps() {
 
 #[test]
 fn fcns_and_inst_columns_are_program_relative() {
-    let p = rml::programs::by_name("compose").unwrap();
-    let r = rml_bench::row(&p, 1);
-    assert_eq!(r.fcns.0, 1, "compose defines one spurious function");
-    assert!(r.fcns.1 >= 2);
-    assert!(r.insts.1 >= r.insts.0);
-    assert!(r.diff, "compose's own schemes change under rg");
+    rml::run_with_big_stack(|| {
+        let p = rml::programs::by_name("compose").unwrap();
+        let r = rml_bench::row(&p, 1);
+        assert_eq!(r.fcns.0, 1, "compose defines one spurious function");
+        assert!(r.fcns.1 >= 2);
+        assert!(r.insts.1 >= r.insts.0);
+        assert!(r.diff, "compose's own schemes change under rg");
+    });
 }
 
 #[test]
 fn pure_programs_have_empty_diff() {
-    for name in ["fib", "queens"] {
-        let p = rml::programs::by_name(name).unwrap();
-        assert!(!rml_bench::code_differs(&p), "{name}");
-    }
+    rml::run_with_big_stack(|| {
+        for name in ["fib", "queens"] {
+            let p = rml::programs::by_name(name).unwrap();
+            assert!(!rml_bench::code_differs(&p), "{name}");
+        }
+    });
 }
 
 #[test]
@@ -94,19 +101,23 @@ fn region_strategies_bound_memory_where_the_paper_says() {
 fn rg_output_of_suite_programs_passes_the_full_g_check() {
     // The strongest static validation: entire basis+program terms satisfy
     // the paper's Figure 4 rules with the full G relation.
-    for name in ["fib", "msort", "compose", "queens", "sieve", "ratio"] {
-        let p = rml::programs::by_name(name).unwrap();
-        let c = compile_with_basis(p.source, Strategy::Rg).unwrap();
-        rml::check(&c).unwrap_or_else(|e| panic!("{name}: {e}"));
-    }
+    rml::run_with_big_stack(|| {
+        for name in ["fib", "msort", "compose", "queens", "sieve", "ratio"] {
+            let p = rml::programs::by_name(name).unwrap();
+            let c = compile_with_basis(p.source, Strategy::Rg).unwrap();
+            rml::check(&c).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    });
 }
 
 #[test]
 fn exception_benchmark_checks_and_runs_under_all_strategies() {
-    let p = rml::programs::by_name("exceptions").unwrap();
-    for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
-        let c = compile_with_basis(p.source, s).unwrap();
-        rml::check(&c).unwrap_or_else(|e| panic!("{s:?}: {e}"));
-        execute(&c, &ExecOpts::default()).unwrap();
-    }
+    rml::run_with_big_stack(|| {
+        let p = rml::programs::by_name("exceptions").unwrap();
+        for s in [Strategy::Rg, Strategy::RgMinus, Strategy::R] {
+            let c = compile_with_basis(p.source, s).unwrap();
+            rml::check(&c).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            execute(&c, &ExecOpts::default()).unwrap();
+        }
+    });
 }

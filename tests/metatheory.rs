@@ -11,11 +11,11 @@
 //! inference), so these tests also exercise the inference/type-system
 //! agreement on non-trivial higher-order polymorphic code.
 
+use rml::{compile, Strategy};
 use rml_core::semantics::Machine;
 use rml_core::terms::Term;
 use rml_core::typing::{Checker, GcCheck, TypeEnv};
 use rml_core::Pi;
-use rml::{compile, Strategy};
 
 /// Steps `term` to a value, checking the Figure 4 rules after every step.
 fn check_every_step(c: &rml::Compiled, max_steps: usize) {
@@ -55,9 +55,8 @@ fn check_every_step(c: &rml::Compiled, max_steps: usize) {
         let pi_v = checker2
             .check_value(&v)
             .unwrap_or_else(|e| panic!("final value fails to type: {e}"));
-        match (&pi0, &pi_v) {
-            (Pi::Mu(a), Pi::Mu(b)) => assert_eq!(a, b, "preservation: π changed"),
-            _ => {}
+        if let (Pi::Mu(a), Pi::Mu(b)) = (&pi0, &pi_v) {
+            assert_eq!(a, b, "preservation: π changed");
         }
     }
 }
@@ -234,6 +233,10 @@ fn tag_free_representation_agrees_and_saves_memory() {
 
 #[test]
 fn tag_free_suite_agreement() {
+    rml::run_with_big_stack(tag_free_suite_agreement_body);
+}
+
+fn tag_free_suite_agreement_body() {
     // Every benchmark computes the same value with and without the
     // untagged representation, under an aggressive collector.
     for p in rml::programs::suite() {

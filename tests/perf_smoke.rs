@@ -1,0 +1,37 @@
+//! Performance smoke test: a regression tripwire on the unification
+//! store's operation counts.
+//!
+//! Wall-clock budgets are too noisy for CI; instead this pins the
+//! *deterministic* cost driver — the number of union-find reads performed
+//! while compiling the whole benchmark suite under `rg`. The budget is
+//! roughly twice the count measured when the compressed store landed, so
+//! it only trips on an asymptotic regression (losing path compression or
+//! closure memoisation), not on routine changes.
+
+use rml::{compile_with_basis, Strategy};
+
+// Measured ~1.09M find ops for the 18-program suite with the compressed
+// store; the naive store needed several times that.
+const FIND_OPS_BUDGET: u64 = 2_200_000;
+
+#[test]
+fn suite_compilation_stays_within_the_find_ops_budget() {
+    let (total_finds, total_unions) = rml::run_with_big_stack(|| {
+        let mut total_finds = 0u64;
+        let mut total_unions = 0u64;
+        for p in rml::programs::suite() {
+            let c = compile_with_basis(p.source, Strategy::Rg).expect("compile");
+            let st = c.output.store_stats;
+            total_finds += st.find_ops;
+            total_unions += st.unions;
+        }
+        (total_finds, total_unions)
+    });
+    println!("suite rg compilation: {total_finds} find ops, {total_unions} unions");
+    assert!(total_unions > 0, "instrumentation is wired");
+    assert!(
+        total_finds < FIND_OPS_BUDGET,
+        "suite compilation performed {total_finds} find ops \
+         (budget {FIND_OPS_BUDGET}); did the store lose path compression?"
+    );
+}

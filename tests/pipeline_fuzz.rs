@@ -6,8 +6,8 @@
 //! regionless baseline.
 
 use proptest::prelude::*;
-use rml::{compile, execute, ExecOpts};
 use rml::Strategy as RmlStrategy;
+use rml::{compile, execute, ExecOpts};
 use rml_eval::GcPolicy;
 
 /// A generator for well-typed integer expressions over the variables
@@ -23,26 +23,22 @@ fn int_expr() -> impl Strategy<Value = String> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * ({b} mod 7))")),
-            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
-                |(a, b, c, d)| format!("(if {a} < {b} then {c} else {d})")
-            ),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c, d)| format!("(if {a} < {b} then {c} else {d})")),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| format!("(let val v = {a} in v + {b} end)")),
             inner.clone().prop_map(|a| format!("(inc {a})")),
             inner.clone().prop_map(|a| format!("(dbl {a})")),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| format!("(#1 ({a}, {b}) + #2 ({b}, {a}))")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(lsum [{a}, {b}, 3])")),
             (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("(lsum [{a}, {b}, 3])")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!(
-                "((comp (fn a => a + {a}, fn a => a * 2)) {b})"
-            )),
+                .prop_map(|(a, b)| format!("((comp (fn a => a + {a}, fn a => a * 2)) {b})")),
             inner
                 .clone()
                 .prop_map(|a| format!("(llen (lmap (fn e => e + 1) [{a}, 1]))")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!(
-                "(let val r = ref {a} in (r := !r + {b}; !r) end)"
-            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("(let val r = ref {a} in (r := !r + {b}; !r) end)")),
         ]
     })
 }
@@ -74,8 +70,10 @@ proptest! {
             .eval(rg.output.term.clone(), 3_000_000)
             .unwrap_or_else(|e| panic!("formal eval failed: {e}\nsrc: {src}"));
         // Heap machine with aggressive collection.
-        let mut opts = ExecOpts::default();
-        opts.gc = Some(GcPolicy::On { min_bytes: 256, ratio: 1.05, generational: false });
+        let opts = ExecOpts {
+            gc: Some(GcPolicy::On { min_bytes: 256, ratio: 1.05, generational: false }),
+            ..ExecOpts::default()
+        };
         let hv = execute(&rg, &opts).unwrap_or_else(|e| panic!("heap eval failed: {e}\nsrc: {src}"));
         if let (rml_core::Value::Int(a), rml_eval::RunValue::Int(b)) = (&fv, &hv.value) {
             prop_assert_eq!(a, b, "formal vs heap disagree on {}", src);
@@ -97,8 +95,10 @@ proptest! {
         let src = program_for(&expr);
         let c = compile(&src, RmlStrategy::Rg).unwrap();
         let plain = execute(&c, &ExecOpts::default()).unwrap().value;
-        let mut opts = ExecOpts::default();
-        opts.gc = Some(GcPolicy::On { min_bytes: 256, ratio: 1.05, generational: true });
+        let opts = ExecOpts {
+            gc: Some(GcPolicy::On { min_bytes: 256, ratio: 1.05, generational: true }),
+            ..ExecOpts::default()
+        };
         let gen = execute(&c, &opts).unwrap().value;
         prop_assert_eq!(plain, gen, "generational GC changed the result of {}", src);
     }
