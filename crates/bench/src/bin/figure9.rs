@@ -14,15 +14,32 @@
 //! `BENCH_figure9.json` to the current directory: the same rows in
 //! machine-readable form (per-program compile time plus per-strategy run
 //! time, steps, allocation, peak bytes, and gc counts).
+//!
+//! Compilations are cached on disk (serialized IR + statistics) in
+//! `.rml-bench-cache/`, so a repeated run skips the pipeline entirely.
+//! Set `RML_BENCH_CACHE` to relocate the cache, or to `off` to disable
+//! it. Entries are keyed by content hash, so stale entries are never
+//! read — delete the directory to reclaim the space.
 
 fn main() {
     let repeats = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
-    eprintln!("running the Figure 9 suite (best of {repeats})...");
+    let cache_setting = std::env::var("RML_BENCH_CACHE").unwrap_or_default();
+    let cache_dir = match cache_setting.as_str() {
+        "off" | "0" => None,
+        "" => Some(std::path::PathBuf::from(".rml-bench-cache")),
+        p => Some(std::path::PathBuf::from(p)),
+    };
+    eprintln!(
+        "running the Figure 9 suite (best of {repeats}, cache {})...",
+        cache_dir
+            .as_deref()
+            .map_or("off".to_string(), |p| p.display().to_string())
+    );
     let t0 = std::time::Instant::now();
-    let rows = rml_bench::figure9(repeats);
+    let rows = rml_bench::figure9_cached(repeats, cache_dir.as_deref());
     let wall = t0.elapsed();
     println!("{}", rml_bench::render(&rows));
     let compile_ms: f64 = rows

@@ -4,10 +4,33 @@
 //! of the process-wide compilation counter, and other tests running in
 //! the same process would perturb it.
 
-use rml_bench::{basis_stats, compile_set, row_with};
+use rml_bench::{basis_stats, compile_set, compile_set_cached, row_with};
+
+/// A process-unique scratch directory for the disk cache, cleaned up on
+/// drop so reruns start cold.
+struct TempCache(std::path::PathBuf);
+
+impl TempCache {
+    fn new(tag: &str) -> TempCache {
+        let dir =
+            std::env::temp_dir().join(format!("rml-bench-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempCache(dir)
+    }
+}
+
+impl Drop for TempCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 #[test]
 fn row_compiles_each_strategy_exactly_once() {
+    rml::run_with_big_stack(row_compiles_each_strategy_exactly_once_body);
+}
+
+fn row_compiles_each_strategy_exactly_once_body() {
     let p = rml::programs::by_name("fib").unwrap();
     // Fill the process-wide basis cache before taking the baseline.
     let _ = basis_stats();
@@ -22,6 +45,37 @@ fn row_compiles_each_strategy_exactly_once() {
         "row_with must reuse the set's compilations"
     );
     assert_eq!(row.runs.len(), 4, "baseline shares the rg compilation");
+
+    // The disk cache: a cold build compiles and fills the cache, the
+    // second build decodes stored IR instead — zero new compilations —
+    // and the decoded set produces the same statistics and schemes.
+    let cache = TempCache::new("fib");
+    let c1 = rml::compile_count();
+    let cold = compile_set_cached(&p, Some(&cache.0));
+    assert_eq!(cold.compiles, 3, "cold cache compiles every strategy");
+    assert_eq!(rml::compile_count() - c1, 3);
+    let c2 = rml::compile_count();
+    let warm = compile_set_cached(&p, Some(&cache.0));
+    assert_eq!(warm.compiles, 0, "warm cache compiles nothing");
+    assert_eq!(
+        rml::compile_count() - c2,
+        0,
+        "a cache hit must not run the pipeline"
+    );
+    assert_eq!(
+        warm.rg.output.stats, cold.rg.output.stats,
+        "statistics survive the cache round-trip"
+    );
+    assert_eq!(
+        warm.rg.output.schemes.len(),
+        cold.rg.output.schemes.len(),
+        "schemes survive the cache round-trip"
+    );
+    let warm_row = row_with(&p, &warm, 1);
+    assert_eq!(warm_row.fcns, row.fcns);
+    assert_eq!(warm_row.insts, row.insts);
+    assert_eq!(warm_row.diff, row.diff);
+    assert!(warm_row.runs.iter().all(|m| !m.crashed));
 
     // The whole-suite budget: at most 4N+1 compilations for N programs
     // (this driver does exactly 3N with the basis already cached). The
@@ -39,4 +93,30 @@ fn row_compiles_each_strategy_exactly_once() {
         "figure9 compiled {delta} times for {n} programs"
     );
     assert_eq!(delta, 3 * n, "three compiles per program, basis cached");
+
+    // And through the disk cache: the first run fills it (3N compiles),
+    // the second consecutive run performs zero pipeline recompilations.
+    let suite_cache = TempCache::new("suite");
+    let c3 = rml::compile_count();
+    let first = rml_bench::figure9_cached(1, Some(&suite_cache.0));
+    assert_eq!(first.len() as u64, n);
+    assert_eq!(
+        rml::compile_count() - c3,
+        3 * n,
+        "cold cached run compiles 3N"
+    );
+    let c4 = rml::compile_count();
+    let second = rml_bench::figure9_cached(1, Some(&suite_cache.0));
+    assert_eq!(second.len() as u64, n);
+    assert_eq!(
+        rml::compile_count() - c4,
+        0,
+        "second consecutive figure9 run must hit the disk cache for every row"
+    );
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.name, b.name, "row order is deterministic");
+        assert_eq!(a.fcns, b.fcns);
+        assert_eq!(a.insts, b.insts);
+        assert_eq!(a.diff, b.diff);
+    }
 }

@@ -1,0 +1,93 @@
+//! The checker's structured error type.
+//!
+//! [`CheckError`] is a message plus an optional *blame* binder: the
+//! `fn`-parameter or `fun` name of the function whose GC-safety condition
+//! failed. Front ends that keep a provenance table (binder → source span,
+//! see `rml-infer`) can turn the blame into a source-located diagnostic;
+//! everything else treats the error as a string via [`Display`].
+//!
+//! [`Display`]: std::fmt::Display
+
+use rml_syntax::Symbol;
+use std::fmt;
+
+/// An error from the Figure 4 checker (or the `G` relation behind it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Human-readable description of the violated rule.
+    pub msg: String,
+    /// The binder (lambda parameter or `fun` name) identifying the
+    /// function the violation occurred in, when known.
+    pub blame: Option<Symbol>,
+}
+
+impl CheckError {
+    /// Creates an error with no blame.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CheckError {
+            msg: msg.into(),
+            blame: None,
+        }
+    }
+
+    /// Attaches a blame binder, keeping an earlier (more precise) one.
+    #[must_use]
+    pub fn with_blame(mut self, x: Symbol) -> Self {
+        self.blame.get_or_insert(x);
+        self
+    }
+
+    /// Does the message contain `pat`? (String-compatibility shim: callers
+    /// that used to match on the raw `String` error keep working.)
+    pub fn contains(&self, pat: &str) -> bool {
+        self.msg.contains(pat)
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<String> for CheckError {
+    fn from(msg: String) -> Self {
+        CheckError::new(msg)
+    }
+}
+
+impl From<&str> for CheckError {
+    fn from(msg: &str) -> Self {
+        CheckError::new(msg)
+    }
+}
+
+impl From<CheckError> for String {
+    fn from(e: CheckError) -> Self {
+        e.msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blame_keeps_first() {
+        let e = CheckError::new("boom")
+            .with_blame(Symbol::intern("inner"))
+            .with_blame(Symbol::intern("outer"));
+        assert_eq!(e.blame, Some(Symbol::intern("inner")));
+    }
+
+    #[test]
+    fn string_shims() {
+        let e: CheckError = format!("bad {}", 7).into();
+        assert!(e.contains("bad 7"));
+        assert_eq!(e.to_string(), "bad 7");
+        let s: String = e.into();
+        assert_eq!(s, "bad 7");
+    }
+}

@@ -17,6 +17,7 @@
 //! instantiation (substitution coverage) later refuses to forget.
 
 use crate::containment::pi_contained_with;
+use crate::error::CheckError;
 use crate::terms::{Term, Value};
 use crate::types::{Delta, Pi};
 use crate::typing::TypeEnv;
@@ -190,7 +191,7 @@ pub fn check_g(
     e: &Term,
     xs: &[Symbol],
     pi: &Pi,
-) -> Result<(), String> {
+) -> Result<(), CheckError> {
     check_g_with(omega, gamma, e, xs, pi, false)
 }
 
@@ -204,7 +205,7 @@ pub fn check_g_with(
     xs: &[Symbol],
     pi: &Pi,
     vacuous_tyvars: bool,
-) -> Result<(), String> {
+) -> Result<(), CheckError> {
     let frv: Regions = pi.frv().into_iter().collect();
     if !expr_contained(&frv, e) {
         return Err("G: body values not contained in frv(π)".into());
@@ -216,13 +217,14 @@ pub fn check_g_with(
             continue;
         }
         let Some(py) = gamma.lookup(y) else {
-            return Err(format!("G: free variable `{y}` not in Γ"));
+            return Err(format!("G: free variable `{y}` not in Γ").into());
         };
         if !pi_contained_with(omega, py, &frev, vacuous_tyvars) {
             return Err(format!(
                 "G: captured variable `{y}` has a type not contained in frev(π) — \
                  its regions could dangle (this is the paper's soundness condition)"
-            ));
+            )
+            .into());
         }
     }
     Ok(())

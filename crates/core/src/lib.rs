@@ -51,8 +51,10 @@
 //! ```
 
 pub mod containment;
+pub mod error;
 pub mod gcsafe;
 pub mod instantiate;
+pub mod ir;
 pub mod pretty;
 pub mod semantics;
 pub mod subst;
@@ -61,6 +63,7 @@ pub mod types;
 pub mod typing;
 pub mod vars;
 
+pub use error::CheckError;
 pub use subst::Subst;
 pub use terms::{Term, Value};
 pub use types::{BoxTy, Delta, Mu, Pi, Scheme};

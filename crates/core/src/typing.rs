@@ -16,6 +16,7 @@
 //! * [`GcCheck::Off`] — no dangling-pointer conditions (strategy `r`,
 //!   pure region inference à la Tofte–Talpin).
 
+use crate::error::CheckError;
 use crate::gcsafe::check_g_with;
 use crate::instantiate::check_instance_with;
 use crate::terms::{Term, Value};
@@ -93,7 +94,7 @@ pub struct Checker {
     pub store: Vec<Mu>,
 }
 
-type CResult<T> = Result<T, String>;
+type CResult<T> = Result<T, CheckError>;
 
 impl Checker {
     /// Checks a closed term in an empty type variable context.
@@ -110,7 +111,7 @@ impl Checker {
         match e {
             Term::Var(x) => match gamma.lookup(*x) {
                 Some(pi) => Ok((pi.clone(), Effect::new())),
-                None => Err(format!("unbound variable `{x}`")),
+                None => Err(format!("unbound variable `{x}`").into()),
             },
             Term::Unit => Ok((Pi::Mu(Mu::Unit), Effect::new())),
             Term::Int(_) => Ok((Pi::Mu(Mu::Int), Effect::new())),
@@ -147,7 +148,8 @@ impl Checker {
                 if got != mu2 {
                     return Err(format!(
                         "lambda body type mismatch:\n  annotated: {mu2:?}\n  computed:  {got:?}"
-                    ));
+                    )
+                    .into());
                 }
                 let mut denoted = ae.latent.clone();
                 denoted.insert(Atom::Eff(ae.handle));
@@ -155,9 +157,11 @@ impl Checker {
                     let missing: Vec<_> = phib.difference(&denoted).collect();
                     return Err(format!(
                         "lambda body effect not included in latent effect; missing {missing:?}"
-                    ));
+                    )
+                    .into());
                 }
-                self.gc_condition(omega, gamma, body, &[*param], &Pi::Mu(ann.clone()))?;
+                self.gc_condition(omega, gamma, body, &[*param], &Pi::Mu(ann.clone()))
+                    .map_err(|e| e.with_blame(*param))?;
                 Ok((Pi::Mu(ann.clone()), crate::vars::effect([Atom::Reg(*at)])))
             }
             Term::Fix { defs, ats, index } => {
@@ -206,7 +210,7 @@ impl Checker {
                         return Err("fun scheme body is not an arrow".into());
                     };
                     if !wf_pi(omega, &pi) {
-                        return Err(format!("fun `{}` scheme not well-formed in Ω", d.f));
+                        return Err(format!("fun `{}` scheme not well-formed in Ω", d.f).into());
                     }
                     // Side conditions.
                     let bound: Effect = scheme
@@ -230,7 +234,8 @@ impl Checker {
                         return Err(format!(
                             "fun `{}`: quantified variables occur free in Ω, Γ, or ρ",
                             d.f
-                        ));
+                        )
+                        .into());
                     }
                     if scheme.delta.iter().any(|(a, _)| outer_tvs.contains(a)) {
                         return Err("fun: dom(∆) occurs free in Ω or Γ".into());
@@ -242,7 +247,7 @@ impl Checker {
                         return Err(format!(
                             "fun `{}` body type mismatch:\n  annotated: {mu2:?}\n  computed:  {got:?}",
                             d.f
-                        ));
+                        ).into());
                     }
                     // The arrow effect ε.φ denotes {ε} ∪ φ: recursive calls
                     // put the handle itself into the body effect.
@@ -253,11 +258,12 @@ impl Checker {
                         return Err(format!(
                             "fun `{}` body effect not included in latent effect; missing {missing:?}",
                             d.f
-                        ));
+                        ).into());
                     }
                     let mut xs = group_names.clone();
                     xs.push(d.param);
-                    self.gc_condition(omega, gamma, &d.body, &xs, &pi)?;
+                    self.gc_condition(omega, gamma, &d.body, &xs, &pi)
+                        .map_err(|e| e.with_blame(d.f))?;
                 }
                 let pi = Pi::Scheme(defs[*index].scheme.clone(), ats[*index]);
                 let eff: Effect = ats.iter().map(|r| Atom::Reg(*r)).collect();
@@ -276,7 +282,8 @@ impl Checker {
                 if m2 != mu_arg {
                     return Err(format!(
                         "argument type mismatch:\n  expected: {mu_arg:?}\n  got:      {m2:?}"
-                    ));
+                    )
+                    .into());
                 }
                 let mut phi = ae.latent.clone();
                 phi.extend(phi1);
@@ -316,14 +323,16 @@ impl Checker {
                     if outer.contains(&Atom::Reg(*r)) {
                         return Err(format!(
                             "letregion-bound {r} occurs free in Ω, Γ, or the result type"
-                        ));
+                        )
+                        .into());
                     }
                 }
                 for ev in evars {
                     if outer.contains(&Atom::Eff(*ev)) {
                         return Err(format!(
                             "letregion-discharged {ev} occurs free in Ω, Γ, or the result type"
-                        ));
+                        )
+                        .into());
                     }
                 }
                 let mut phi2 = phi;
@@ -368,7 +377,8 @@ impl Checker {
                 if pt != pf {
                     return Err(format!(
                         "if branches have different types:\n  then: {pt:?}\n  else: {pf:?}"
-                    ));
+                    )
+                    .into());
                 }
                 let mut phi = phic;
                 phi.extend(phit);
@@ -385,7 +395,7 @@ impl Checker {
                 if *mt != want {
                     return Err(format!(
                         "cons tail type mismatch (list spines share one region):\n  expected: {want:?}\n  got:      {mt:?}"
-                    ));
+                    ).into());
                 }
                 let mut phi = phih;
                 phi.extend(phit);
@@ -460,7 +470,7 @@ impl Checker {
             }
             Term::Exn { name, arg, at } => {
                 let Some(want) = self.exns.get(name) else {
-                    return Err(format!("unknown exception constructor `{name}`"));
+                    return Err(format!("unknown exception constructor `{name}`").into());
                 };
                 let mut phi = Effect::new();
                 match (arg, want) {
@@ -468,11 +478,11 @@ impl Checker {
                     (Some(a), Some(w)) => {
                         let (pa, phia) = self.check_in(omega, gamma, a)?;
                         if pa.as_mu() != Some(w) {
-                            return Err(format!("exception `{name}` argument type mismatch"));
+                            return Err(format!("exception `{name}` argument type mismatch").into());
                         }
                         phi.extend(phia);
                     }
-                    _ => return Err(format!("exception `{name}` arity mismatch")),
+                    _ => return Err(format!("exception `{name}` arity mismatch").into()),
                 }
                 phi.insert(Atom::Reg(*at));
                 Ok((Pi::Mu(Mu::exn(*at)), phi))
@@ -500,7 +510,7 @@ impl Checker {
                 handler,
             } => {
                 let Some(want) = self.exns.get(exn) else {
-                    return Err(format!("unknown exception constructor `{exn}`"));
+                    return Err(format!("unknown exception constructor `{exn}`").into());
                 };
                 let (pb, phib) = self.check_in(omega, gamma, body)?;
                 let arg_mu = want.clone().unwrap_or(Mu::Unit);
@@ -550,14 +560,14 @@ impl Checker {
         let str_place = |m: &Mu| -> CResult<RegVar> {
             match m {
                 Mu::Boxed(b, r) if matches!(&**b, BoxTy::Str) => Ok(*r),
-                _ => Err(format!("`{op}` expects a string argument")),
+                _ => Err(format!("`{op}` expects a string argument").into()),
             }
         };
         use PrimOp::*;
         match op {
             Add | Sub | Mul | Div | Mod => {
                 if mus != [Mu::Int, Mu::Int] {
-                    return Err(format!("`{op}` expects two ints"));
+                    return Err(format!("`{op}` expects two ints").into());
                 }
                 Ok((Pi::Mu(Mu::Int), phis))
             }
@@ -569,7 +579,7 @@ impl Checker {
             }
             Lt | Le | Gt | Ge => {
                 if mus != [Mu::Int, Mu::Int] {
-                    return Err(format!("`{op}` expects two ints"));
+                    return Err(format!("`{op}` expects two ints").into());
                 }
                 Ok((Pi::Mu(Mu::Bool), phis))
             }
@@ -710,11 +720,11 @@ impl Checker {
             }
             Value::RefLoc(i, r) => match self.store.get(*i) {
                 Some(mu) => Ok(Pi::Mu(Mu::reference(mu.clone(), *r))),
-                None => Err(format!("dangling store location {i}")),
+                None => Err(format!("dangling store location {i}").into()),
             },
             Value::ExnVal { name, arg, at, .. } => {
                 let Some(want) = self.exns.get(name) else {
-                    return Err(format!("unknown exception constructor `{name}`"));
+                    return Err(format!("unknown exception constructor `{name}`").into());
                 };
                 match (arg, want) {
                     (None, None) => {}

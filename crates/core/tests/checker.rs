@@ -14,7 +14,7 @@ fn checker() -> Checker {
     Checker::default()
 }
 
-fn check(e: &Term) -> Result<(Pi, Effect), String> {
+fn check(e: &Term) -> Result<(Pi, Effect), rml_core::CheckError> {
     checker().check(&TypeEnv::default(), e)
 }
 

@@ -2,7 +2,8 @@
 
 use crate::tast::{TBind, TExpr, TExprKind, TFunBind, TProgram};
 use crate::types::{Scheme, Ty, TyStore};
-use rml_syntax::ast::{Decl, Expr, PrimOp, Program, TyAnn};
+use rml_session::Span;
+use rml_syntax::ast::{Decl, Expr, ExprKind, PrimOp, Program, TyAnn};
 use rml_syntax::Symbol;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -12,6 +13,19 @@ use std::fmt;
 pub struct TypeError {
     /// The message.
     pub msg: String,
+    /// Span of the smallest enclosing expression, when known.
+    pub span: Option<Span>,
+}
+
+impl TypeError {
+    /// Attaches `span` unless a (more precise, innermost) span is already
+    /// recorded.
+    fn at(mut self, span: Span) -> TypeError {
+        if self.span.is_none() && !span.is_dummy() {
+            self.span = Some(span);
+        }
+        self
+    }
 }
 
 impl fmt::Display for TypeError {
@@ -23,7 +37,10 @@ impl fmt::Display for TypeError {
 impl std::error::Error for TypeError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
-    Err(TypeError { msg: msg.into() })
+    Err(TypeError {
+        msg: msg.into(),
+        span: None,
+    })
 }
 
 #[derive(Debug, Clone)]
@@ -71,6 +88,7 @@ impl Infer {
     fn unify(&mut self, a: &Ty, b: &Ty, what: &str) -> IResult<()> {
         self.store.unify(a, b).map_err(|(x, y)| TypeError {
             msg: format!("cannot unify `{x}` with `{y}` in {what}"),
+            span: None,
         })
     }
 
@@ -197,26 +215,36 @@ impl Infer {
         })
     }
 
+    /// Infers `e`, attaching the innermost available span to any error.
     fn expr(&mut self, e: &Expr, tvs: &mut HashMap<Symbol, Ty>) -> IResult<TExpr> {
-        match e {
-            Expr::Unit => Ok(TExpr {
+        self.expr_inner(e, tvs).map_err(|te| te.at(e.span))
+    }
+
+    fn expr_inner(&mut self, e: &Expr, tvs: &mut HashMap<Symbol, Ty>) -> IResult<TExpr> {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Unit => Ok(TExpr {
+                span,
                 ty: Ty::Unit,
                 kind: TExprKind::Unit,
             }),
-            Expr::Int(n) => Ok(TExpr {
+            ExprKind::Int(n) => Ok(TExpr {
+                span,
                 ty: Ty::Int,
                 kind: TExprKind::Int(*n),
             }),
-            Expr::Str(s) => Ok(TExpr {
+            ExprKind::Str(s) => Ok(TExpr {
+                span,
                 ty: Ty::Str,
                 kind: TExprKind::Str(s.clone()),
             }),
-            Expr::Bool(b) => Ok(TExpr {
+            ExprKind::Bool(b) => Ok(TExpr {
+                span,
                 ty: Ty::Bool,
                 kind: TExprKind::Bool(*b),
             }),
-            Expr::Var(x) => self.var_occurrence(*x),
-            Expr::Lam { param, ann, body } => {
+            ExprKind::Var(x) => self.var_occurrence(*x, span),
+            ExprKind::Lam { param, ann, body } => {
                 let pt = match ann {
                     Some(a) => self.ann_to_ty(a, tvs),
                     None => self.store.fresh(),
@@ -225,6 +253,7 @@ impl Infer {
                 let tb = self.expr(body, tvs)?;
                 self.env.pop();
                 Ok(TExpr {
+                    span,
                     ty: Ty::Arrow(Box::new(pt.clone()), Box::new(tb.ty.clone())),
                     kind: TExprKind::Lam {
                         param: *param,
@@ -233,10 +262,10 @@ impl Infer {
                     },
                 })
             }
-            Expr::App(f, a) => {
+            ExprKind::App(f, a) => {
                 // Exception constructors and builtins applied directly
                 // become dedicated nodes instead of general applications.
-                if let Expr::Var(x) = f.as_ref() {
+                if let ExprKind::Var(x) = &f.kind {
                     match self.lookup(*x).cloned() {
                         Some(EnvEntry::Exn(arg_ty)) => {
                             let Some(arg_ty) = arg_ty else {
@@ -248,6 +277,7 @@ impl Infer {
                             let t = ta.ty.clone();
                             self.unify(&t, &arg_ty, &format!("argument of exception `{x}`"))?;
                             return Ok(TExpr {
+                                span,
                                 ty: Ty::Exn,
                                 kind: TExprKind::ConApp {
                                     exn: *x,
@@ -260,6 +290,7 @@ impl Infer {
                                 let ta = self.expr(a, tvs)?;
                                 let rt = self.prim_result(*op, std::slice::from_ref(&ta))?;
                                 return Ok(TExpr {
+                                    span,
                                     ty: rt,
                                     kind: TExprKind::Prim(*op, vec![ta]),
                                 });
@@ -274,16 +305,18 @@ impl Infer {
                 let want = Ty::Arrow(Box::new(ta.ty.clone()), Box::new(r.clone()));
                 self.unify(&tf.ty.clone(), &want, "function application")?;
                 Ok(TExpr {
+                    span,
                     ty: r,
                     kind: TExprKind::App(Box::new(tf), Box::new(ta)),
                 })
             }
-            Expr::Let { decls, body } => {
+            ExprKind::Let { decls, body } => {
                 let saved = self.env.len();
                 let binds = self.do_binds(decls, tvs)?;
                 let tb = self.expr(body, tvs)?;
                 self.env.truncate(saved);
                 Ok(TExpr {
+                    span,
                     ty: tb.ty.clone(),
                     kind: TExprKind::Let {
                         binds,
@@ -291,65 +324,71 @@ impl Infer {
                     },
                 })
             }
-            Expr::Pair(a, b) => {
+            ExprKind::Pair(a, b) => {
                 let ta = self.expr(a, tvs)?;
                 let tb = self.expr(b, tvs)?;
                 Ok(TExpr {
+                    span,
                     ty: Ty::Pair(Box::new(ta.ty.clone()), Box::new(tb.ty.clone())),
                     kind: TExprKind::Pair(Box::new(ta), Box::new(tb)),
                 })
             }
-            Expr::Sel(i, e) => {
+            ExprKind::Sel(i, e) => {
                 let te = self.expr(e, tvs)?;
                 let a = self.store.fresh();
                 let b = self.store.fresh();
                 let want = Ty::Pair(Box::new(a.clone()), Box::new(b.clone()));
                 self.unify(&te.ty.clone(), &want, "projection")?;
                 Ok(TExpr {
+                    span,
                     ty: if *i == 1 { a } else { b },
                     kind: TExprKind::Sel(*i, Box::new(te)),
                 })
             }
-            Expr::If(c, t, f) => {
+            ExprKind::If(c, t, f) => {
                 let tc = self.expr(c, tvs)?;
                 self.unify(&tc.ty.clone(), &Ty::Bool, "condition of `if`")?;
                 let tt = self.expr(t, tvs)?;
                 let tf = self.expr(f, tvs)?;
                 self.unify(&tt.ty.clone(), &tf.ty.clone(), "branches of `if`")?;
                 Ok(TExpr {
+                    span,
                     ty: tt.ty.clone(),
                     kind: TExprKind::If(Box::new(tc), Box::new(tt), Box::new(tf)),
                 })
             }
-            Expr::Prim(op, args) => {
+            ExprKind::Prim(op, args) => {
                 let targs: Vec<TExpr> = args
                     .iter()
                     .map(|a| self.expr(a, tvs))
                     .collect::<IResult<_>>()?;
                 let rt = self.prim_result(*op, &targs)?;
                 Ok(TExpr {
+                    span,
                     ty: rt,
                     kind: TExprKind::Prim(*op, targs),
                 })
             }
-            Expr::Nil => {
+            ExprKind::Nil => {
                 let a = self.store.fresh();
                 Ok(TExpr {
+                    span,
                     ty: Ty::List(Box::new(a)),
                     kind: TExprKind::Nil,
                 })
             }
-            Expr::Cons(h, t) => {
+            ExprKind::Cons(h, t) => {
                 let th = self.expr(h, tvs)?;
                 let tt = self.expr(t, tvs)?;
                 let want = Ty::List(Box::new(th.ty.clone()));
                 self.unify(&tt.ty.clone(), &want, "tail of `::`")?;
                 Ok(TExpr {
+                    span,
                     ty: want,
                     kind: TExprKind::Cons(Box::new(th), Box::new(tt)),
                 })
             }
-            Expr::CaseList {
+            ExprKind::CaseList {
                 scrut,
                 nil_rhs,
                 head,
@@ -368,6 +407,7 @@ impl Infer {
                 self.env.pop();
                 self.unify(&tn.ty.clone(), &tc.ty.clone(), "branches of `case`")?;
                 Ok(TExpr {
+                    span,
                     ty: tn.ty.clone(),
                     kind: TExprKind::CaseList {
                         scrut: Box::new(ts),
@@ -378,56 +418,61 @@ impl Infer {
                     },
                 })
             }
-            Expr::Ref(e) => {
+            ExprKind::Ref(e) => {
                 let te = self.expr(e, tvs)?;
                 Ok(TExpr {
+                    span,
                     ty: Ty::Ref(Box::new(te.ty.clone())),
                     kind: TExprKind::Ref(Box::new(te)),
                 })
             }
-            Expr::Deref(e) => {
+            ExprKind::Deref(e) => {
                 let te = self.expr(e, tvs)?;
                 let a = self.store.fresh();
                 self.unify(&te.ty.clone(), &Ty::Ref(Box::new(a.clone())), "dereference")?;
                 Ok(TExpr {
+                    span,
                     ty: a,
                     kind: TExprKind::Deref(Box::new(te)),
                 })
             }
-            Expr::Assign(r, v) => {
+            ExprKind::Assign(r, v) => {
                 let tr = self.expr(r, tvs)?;
                 let tv = self.expr(v, tvs)?;
                 let want = Ty::Ref(Box::new(tv.ty.clone()));
                 self.unify(&tr.ty.clone(), &want, "assignment")?;
                 Ok(TExpr {
+                    span,
                     ty: Ty::Unit,
                     kind: TExprKind::Assign(Box::new(tr), Box::new(tv)),
                 })
             }
-            Expr::Seq(a, b) => {
+            ExprKind::Seq(a, b) => {
                 let ta = self.expr(a, tvs)?;
                 let tb = self.expr(b, tvs)?;
                 Ok(TExpr {
+                    span,
                     ty: tb.ty.clone(),
                     kind: TExprKind::Seq(Box::new(ta), Box::new(tb)),
                 })
             }
-            Expr::Ann(e, ann) => {
+            ExprKind::Ann(e, ann) => {
                 let te = self.expr(e, tvs)?;
                 let want = self.ann_to_ty(ann, tvs);
                 self.unify(&te.ty.clone(), &want, "type annotation")?;
                 Ok(te)
             }
-            Expr::Raise(e) => {
+            ExprKind::Raise(e) => {
                 let te = self.expr(e, tvs)?;
                 self.unify(&te.ty.clone(), &Ty::Exn, "operand of `raise`")?;
                 let r = self.store.fresh();
                 Ok(TExpr {
+                    span,
                     ty: r,
                     kind: TExprKind::Raise(Box::new(te)),
                 })
             }
-            Expr::Handle {
+            ExprKind::Handle {
                 body,
                 exn,
                 arg,
@@ -444,6 +489,7 @@ impl Infer {
                 self.env.pop();
                 self.unify(&tb.ty.clone(), &th.ty.clone(), "handler result")?;
                 Ok(TExpr {
+                    span,
                     ty: tb.ty.clone(),
                     kind: TExprKind::Handle {
                         body: Box::new(tb),
@@ -454,7 +500,7 @@ impl Infer {
                     },
                 })
             }
-            Expr::Con(name, arg) => {
+            ExprKind::Con(name, arg) => {
                 // Produced only by desugaring; type like ConApp.
                 let arg_ty = match self.lookup(*name) {
                     Some(EnvEntry::Exn(t)) => t.clone(),
@@ -470,6 +516,7 @@ impl Infer {
                     _ => return err(format!("arity mismatch for exception `{name}`")),
                 };
                 Ok(TExpr {
+                    span,
                     ty: Ty::Exn,
                     kind: TExprKind::ConApp {
                         exn: *name,
@@ -480,11 +527,12 @@ impl Infer {
         }
     }
 
-    fn var_occurrence(&mut self, x: Symbol) -> IResult<TExpr> {
+    fn var_occurrence(&mut self, x: Symbol, span: Span) -> IResult<TExpr> {
         match self.lookup(x).cloned() {
             Some(EnvEntry::Poly(s)) => {
                 let (ty, inst) = self.instantiate(&s);
                 Ok(TExpr {
+                    span,
                     ty,
                     kind: TExprKind::Var {
                         name: x,
@@ -493,6 +541,7 @@ impl Infer {
                 })
             }
             Some(EnvEntry::Mono(t)) => Ok(TExpr {
+                span,
                 ty: t,
                 kind: TExprKind::Var {
                     name: x,
@@ -501,6 +550,7 @@ impl Infer {
             }),
             Some(EnvEntry::Exn(arg)) => match arg {
                 None => Ok(TExpr {
+                    span,
                     ty: Ty::Exn,
                     kind: TExprKind::ConApp { exn: x, arg: None },
                 }),
@@ -508,10 +558,12 @@ impl Infer {
                     // Constructor used as a value: eta-expand.
                     let p = Symbol::fresh("x");
                     let body = TExpr {
+                        span,
                         ty: Ty::Exn,
                         kind: TExprKind::ConApp {
                             exn: x,
                             arg: Some(Box::new(TExpr {
+                                span,
                                 ty: at.clone(),
                                 kind: TExprKind::Var {
                                     name: p,
@@ -521,6 +573,7 @@ impl Infer {
                         },
                     };
                     Ok(TExpr {
+                        span,
                         ty: Ty::Arrow(Box::new(at.clone()), Box::new(Ty::Exn)),
                         kind: TExprKind::Lam {
                             param: p,
@@ -536,6 +589,7 @@ impl Infer {
                     let (at, rt) = builtin_sig(*op);
                     let p = Symbol::fresh("x");
                     let arg = TExpr {
+                        span,
                         ty: at.clone(),
                         kind: TExprKind::Var {
                             name: p,
@@ -543,10 +597,12 @@ impl Infer {
                         },
                     };
                     let body = TExpr {
+                        span,
                         ty: rt.clone(),
                         kind: TExprKind::Prim(*op, vec![arg]),
                     };
                     Ok(TExpr {
+                        span,
                         ty: Ty::Arrow(Box::new(at.clone()), Box::new(rt)),
                         kind: TExprKind::Lam {
                             param: p,
@@ -591,13 +647,13 @@ impl Infer {
                     for (b, m) in binds.iter().zip(&metas) {
                         let (fun_ty, param, param_ty, body) = self.fun_body(b, tvs)?;
                         self.unify(&fun_ty, m, &format!("recursive uses of `{}`", b.name))?;
-                        partial.push((b.name, fun_ty, param, param_ty, body));
+                        partial.push((b.name, fun_ty, param, param_ty, body, b.span));
                     }
                     self.env.truncate(rec_base);
                     // Joint generalisation over the group.
                     let env_metas = self.env_metas();
                     let mut assigned: Vec<u32> = Vec::new();
-                    for (_, fun_ty, _, _, _) in &partial {
+                    for (_, fun_ty, _, _, _, _) in &partial {
                         let mut free = BTreeSet::new();
                         self.store.free_metas(fun_ty, &mut free);
                         for m in free {
@@ -612,7 +668,7 @@ impl Infer {
                         }
                     }
                     let mut group = Vec::new();
-                    for (name, fun_ty, param, param_ty, body) in partial {
+                    for (name, fun_ty, param, param_ty, body, span) in partial {
                         let body_ty = self.resolve(&fun_ty);
                         let mut qs = BTreeSet::new();
                         body_ty.quant_vars(&mut qs);
@@ -632,6 +688,7 @@ impl Infer {
                             param,
                             param_ty,
                             body,
+                            span,
                         });
                     }
                     out.push(TBind::Fun(group));
@@ -676,10 +733,13 @@ impl Infer {
             )?;
         }
         self.env.truncate(saved);
-        // Curry parameters 2..n into nested lambdas.
+        // Curry parameters 2..n into nested lambdas, which inherit the
+        // binding's name span.
+        let span = b.span;
         let mut acc = tb;
         for ((p, _), t) in b.params.iter().zip(&ptys).skip(1).rev() {
             acc = TExpr {
+                span,
                 ty: Ty::Arrow(Box::new(t.clone()), Box::new(acc.ty.clone())),
                 kind: TExprKind::Lam {
                     param: *p,
@@ -695,16 +755,16 @@ impl Infer {
 
 /// SML value restriction: only syntactic values may be generalised.
 fn is_value(e: &Expr) -> bool {
-    match e {
-        Expr::Unit
-        | Expr::Int(_)
-        | Expr::Str(_)
-        | Expr::Bool(_)
-        | Expr::Var(_)
-        | Expr::Lam { .. }
-        | Expr::Nil => true,
-        Expr::Pair(a, b) | Expr::Cons(a, b) => is_value(a) && is_value(b),
-        Expr::Ann(e, _) => is_value(e),
+    match &e.kind {
+        ExprKind::Unit
+        | ExprKind::Int(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Var(_)
+        | ExprKind::Lam { .. }
+        | ExprKind::Nil => true,
+        ExprKind::Pair(a, b) | ExprKind::Cons(a, b) => is_value(a) && is_value(b),
+        ExprKind::Ann(e, _) => is_value(e),
         _ => false,
     }
 }

@@ -9,6 +9,7 @@
 //! (region-polymorphic but type-monomorphic recursion).
 
 use crate::types::{Scheme, Ty};
+use rml_session::Span;
 use rml_syntax::ast::PrimOp;
 use rml_syntax::Symbol;
 
@@ -60,6 +61,9 @@ pub struct TFunBind {
     pub param_ty: Ty,
     /// Body (with remaining parameters as lambdas).
     pub body: TExpr,
+    /// Span of the function's name in the source ([`Span::DUMMY`] when
+    /// synthesised).
+    pub span: Span,
 }
 
 /// A typed expression.
@@ -67,6 +71,9 @@ pub struct TFunBind {
 pub struct TExpr {
     /// The node's type.
     pub ty: Ty,
+    /// Span of the source expression this node was elaborated from
+    /// ([`Span::DUMMY`] for synthesised nodes such as eta-expansions).
+    pub span: Span,
     /// The node proper.
     pub kind: TExprKind,
 }

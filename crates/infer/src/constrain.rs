@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// Statistics matching the columns of the paper's Figure 9.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Number of functions with at least one spurious type variable.
     pub spurious_fns: usize,
@@ -110,6 +110,11 @@ pub struct Constrain {
     pub exns: BTreeMap<Symbol, Option<RTy>>,
     /// Figure 9 statistics.
     pub stats: Stats,
+    /// Source provenance: binder symbol → the span of the lambda or `fun`
+    /// binding that introduced it. First binding wins, matching the
+    /// checker's innermost-blame convention, so a diagnostic for a blamed
+    /// binder can underline the capturing function in the source.
+    pub provenance: BTreeMap<Symbol, rml_session::Span>,
     /// Depth of recursive `fun` groups currently being inferred; inside
     /// one, `ω` entries must be fresh secondary variables so that the
     /// scheme's ∆ never mentions quantified atoms (\[TvRec\]).
@@ -135,6 +140,7 @@ impl Constrain {
             global_eps,
             exns: BTreeMap::new(),
             stats: Stats::default(),
+            provenance: BTreeMap::new(),
             rec_depth: 0,
         }
     }
@@ -530,6 +536,7 @@ impl Constrain {
                 param_ty,
                 body,
             } => {
+                self.provenance.entry(*param).or_insert(e.span);
                 let param_rty = self.spread(param_ty);
                 self.env.push((*param, REntry::Mono(param_rty.clone())));
                 let (cb, rty_b, eff_b) = self.expr(body)?;
@@ -872,6 +879,7 @@ impl Constrain {
         let mut eff = BTreeSet::new();
         let mut defs = Vec::new();
         for b in group {
+            self.provenance.entry(b.name).or_insert(b.span);
             let proto = self.spread(&b.scheme.body);
             let place = proto.place().expect("fun prototype must be a boxed arrow");
             eff.insert(AtomI::Rho(place));
@@ -1009,6 +1017,7 @@ impl Constrain {
                             param: *param,
                             param_ty: param_ty.clone(),
                             body: (**body).clone(),
+                            span: rhs.span,
                         };
                         let (group, eff) = self.do_fun_group(std::slice::from_ref(&fb))?;
                         out.push(CBind::Fun(group, eff));

@@ -97,6 +97,10 @@ pub struct Output {
     pub store_stats: store::StoreStats,
     /// Pretty-printable schemes of the top-level functions, in order.
     pub schemes: Vec<(Symbol, rml_core::types::Scheme)>,
+    /// Binder symbol → source span of the lambda or `fun` binding that
+    /// introduced it (first binding wins). Lets a checker blame, which
+    /// names a binder, be rendered as an underlined source diagnostic.
+    pub provenance: BTreeMap<Symbol, rml_session::Span>,
 }
 
 /// Runs region inference.
@@ -111,6 +115,7 @@ pub fn infer(p: &TProgram, opts: Options) -> Result<Output, InferError> {
     let (cterm, _eff) = c.program(p)?;
     let global_rho = c.global_rho;
     let stats = c.stats.clone();
+    let provenance = c.provenance.clone();
     let (mut b, exns) = build::Build::new(&mut c);
     let global = b.global_region(global_rho);
     let env = rml_core::TypeEnv::default();
@@ -134,6 +139,7 @@ pub fn infer(p: &TProgram, opts: Options) -> Result<Output, InferError> {
         stats,
         store_stats,
         schemes,
+        provenance,
     })
 }
 

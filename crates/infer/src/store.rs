@@ -23,17 +23,25 @@
 //!   replaces, without the per-node allocations;
 //! * an **iterative worklist** in [`Store::add_atom`] (the closure
 //!   invariant used to be restored by recursion);
-//! * **epoch-invalidated memos** for [`Store::latent_of`] and the
-//!   per-root effect closures. Every mutation (insert or union) bumps a
-//!   generation counter; queries reuse the cached canonicalised set while
-//!   the generation is unchanged. Path compression does *not* bump the
-//!   epoch — it never changes a canonical representative, so cached sets
-//!   (which store canonical atoms) stay valid.
+//! * **dirty-bit-invalidated memos** for [`Store::latent_of`] and the
+//!   per-root effect closures. An insert marks *only the roots whose
+//!   latent set actually grew* as dirty — sound because latent sets are
+//!   kept eagerly transitively closed, so any root whose closure changes
+//!   also has its own latent set change (via container propagation) and
+//!   is therefore marked. Unions still force a full flush (they change
+//!   canonical representatives, staling every memoised canonicalised
+//!   set), via a separate union generation counter. Path compression
+//!   invalidates nothing — it never changes a representative;
+//! * **hash-consed result sets**: the memoised latent/closure sets are
+//!   interned through [`rml_session::Interner`], so structurally equal
+//!   sets (ubiquitous once effects are unified) share one allocation and
+//!   compare equal by pointer.
 //!
 //! Opt-in instrumentation is available through [`Store::stats`], which
-//! snapshots find/union/closure counters ([`StoreStats`]).
+//! snapshots find/union/closure/intern counters ([`StoreStats`]).
 
 use rml_core::vars::{ArrowEff, Atom, EffVar, Effect, RegVar};
+use rml_session::Interner;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -47,7 +55,7 @@ pub struct RhoId(pub u32);
 pub struct EpsId(pub u32);
 
 /// An atom at the store level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AtomI {
     /// A region node.
     Rho(RhoId),
@@ -115,6 +123,10 @@ pub struct StoreStats {
     pub closure_recomputes: u64,
     /// Latent/closure queries answered from the memo.
     pub closure_cache_hits: u64,
+    /// Interned latent/closure sets that found an existing allocation.
+    pub intern_hits: u64,
+    /// Interned latent/closure sets that allocated a new value.
+    pub intern_misses: u64,
 }
 
 /// The store.
@@ -133,15 +145,25 @@ pub struct Store {
     rho_core: BTreeMap<u32, RegVar>,
     /// Core variable assigned to each eps root at resolution time.
     eps_core: BTreeMap<u32, EffVar>,
-    /// Mutation generation; bumped by inserts and unions.
-    epoch: Cell<u64>,
-    /// Generation the memos below were built at; on mismatch they are
-    /// cleared lazily by the next query.
-    memo_epoch: Cell<u64>,
+    /// Union generation; bumped only by `union_rho`/`union_eps`. Unions
+    /// change canonical representatives, so they stale *every* memoised
+    /// canonicalised set at once.
+    union_epoch: Cell<u64>,
+    /// Union generation the memos below were built at; on mismatch they
+    /// are cleared wholesale by the next query.
+    memo_union_epoch: Cell<u64>,
+    /// Eps roots whose latent set grew (via `add_atom`) since the memos
+    /// were last refreshed; only these entries are evicted. Sound because
+    /// latent sets are eagerly closed: a root whose *closure* changes has
+    /// its own latent changed too (container propagation) and lands here.
+    dirty: RefCell<BTreeSet<u32>>,
     /// Canonicalised latent set per eps root.
     latent_memo: RefCell<BTreeMap<u32, Rc<BTreeSet<AtomI>>>>,
     /// Transitive atom closure of `{Eps(root)}` per eps root.
     closure_memo: RefCell<BTreeMap<u32, Rc<BTreeSet<AtomI>>>>,
+    /// Hash-consing interner shared by both memos: structurally equal
+    /// result sets collapse to one `Rc`.
+    sets: RefCell<Interner<BTreeSet<AtomI>>>,
     find_ops: Cell<u64>,
     unions: Cell<u64>,
     closure_recomputes: Cell<u64>,
@@ -156,11 +178,14 @@ impl Store {
 
     /// Snapshots the instrumentation counters.
     pub fn stats(&self) -> StoreStats {
+        let (intern_hits, intern_misses) = self.sets.borrow().stats();
         StoreStats {
             find_ops: self.find_ops.get(),
             unions: self.unions.get(),
             closure_recomputes: self.closure_recomputes.get(),
             closure_cache_hits: self.closure_cache_hits.get(),
+            intern_hits,
+            intern_misses,
         }
     }
 
@@ -214,8 +239,8 @@ impl Store {
         }
     }
 
-    fn bump_epoch(&self) {
-        self.epoch.set(self.epoch.get() + 1);
+    fn bump_union_epoch(&self) {
+        self.union_epoch.set(self.union_epoch.get() + 1);
     }
 
     /// Picks (winner, loser) by rank with a deterministic tiebreak
@@ -241,7 +266,7 @@ impl Store {
             return;
         }
         self.unions.set(self.unions.get() + 1);
-        self.bump_epoch();
+        self.bump_union_epoch();
         let (win, lose) = Self::pick(&mut self.rho_rank, ra.0, rb.0);
         self.rho_parent[lose as usize].set(win);
         // Resolution normally happens after all unions, but keep any
@@ -260,7 +285,7 @@ impl Store {
             return;
         }
         self.unions.set(self.unions.get() + 1);
-        self.bump_epoch();
+        self.bump_union_epoch();
         let (win, lose) = Self::pick(&mut self.eps_rank, ra.0, rb.0);
         self.eps_parent[lose as usize].set(win);
         if let Some(v) = self.eps_core.remove(&lose) {
@@ -312,7 +337,7 @@ impl Store {
             if !self.latent[root.0 as usize].insert(atom) {
                 continue;
             }
-            self.bump_epoch();
+            self.dirty.get_mut().insert(root.0);
             // Transitivity: inserting ε' brings in φ(ε').
             if let AtomI::Eps(inner) = atom {
                 self.containers[inner.0 as usize].insert(root.0);
@@ -334,14 +359,28 @@ impl Store {
         }
     }
 
-    /// Clears the memos if the store has been mutated since they were
-    /// built. Called at the top of every memoised query.
+    /// Reconciles the memos with mutations since they were last used.
+    /// Called at the top of every memoised query. A union since the last
+    /// refresh clears everything (representatives changed); otherwise only
+    /// the roots whose latent sets grew are evicted.
     fn refresh_memos(&self) {
-        let now = self.epoch.get();
-        if self.memo_epoch.get() != now {
+        let now = self.union_epoch.get();
+        if self.memo_union_epoch.get() != now {
             self.latent_memo.borrow_mut().clear();
             self.closure_memo.borrow_mut().clear();
-            self.memo_epoch.set(now);
+            self.dirty.borrow_mut().clear();
+            self.memo_union_epoch.set(now);
+            return;
+        }
+        let mut dirty = self.dirty.borrow_mut();
+        if !dirty.is_empty() {
+            let mut lm = self.latent_memo.borrow_mut();
+            let mut cm = self.closure_memo.borrow_mut();
+            for id in dirty.iter() {
+                lm.remove(id);
+                cm.remove(id);
+            }
+            dirty.clear();
         }
     }
 
@@ -364,7 +403,7 @@ impl Store {
             .map(|a| self.canon(a))
             .filter(|a| *a != AtomI::Eps(root))
             .collect();
-        let rc = Rc::new(set);
+        let rc = self.sets.borrow_mut().intern(set);
         self.latent_memo.borrow_mut().insert(root.0, rc.clone());
         rc
     }
@@ -395,7 +434,7 @@ impl Store {
                 }
             }
         }
-        let rc = Rc::new(out);
+        let rc = self.sets.borrow_mut().intern(out);
         self.closure_memo.borrow_mut().insert(root.0, rc.clone());
         rc
     }
@@ -681,6 +720,71 @@ mod tests {
         assert!(after.contains(&AtomI::Rho(r2)));
         // The caller's old snapshot is untouched.
         assert!(!before.contains(&AtomI::Rho(r2)));
+    }
+
+    #[test]
+    fn unrelated_mutation_keeps_memos_warm() {
+        let mut st = Store::new();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        let r1 = st.fresh_rho();
+        let r2 = st.fresh_rho();
+        st.add_atom(e1, AtomI::Rho(r1));
+        let _ = st.latent_of(e1);
+        let hits0 = st.stats().closure_cache_hits;
+        // Growing ε2 must not evict ε1's memo entry.
+        st.add_atom(e2, AtomI::Rho(r2));
+        let _ = st.latent_of(e1);
+        assert_eq!(st.stats().closure_cache_hits, hits0 + 1);
+        // ε2's own entry is dirty and recomputes.
+        let rec0 = st.stats().closure_recomputes;
+        assert!(st.latent_of(e2).contains(&AtomI::Rho(r2)));
+        assert_eq!(st.stats().closure_recomputes, rec0 + 1);
+    }
+
+    #[test]
+    fn union_flushes_all_memos() {
+        let mut st = Store::new();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        let e3 = st.fresh_eps();
+        let r = st.fresh_rho();
+        st.add_atom(e1, AtomI::Rho(r));
+        let _ = st.latent_of(e1);
+        let rec0 = st.stats().closure_recomputes;
+        // Even an unrelated union changes canonical representatives, so
+        // every memoised canonicalised set is conservatively dropped.
+        st.union_eps(e2, e3);
+        let _ = st.latent_of(e1);
+        assert_eq!(st.stats().closure_recomputes, rec0 + 1);
+    }
+
+    #[test]
+    fn dirty_marking_reaches_containers() {
+        // c ∋ e; memoise both; grow e — the memoised c must not go stale.
+        let mut st = Store::new();
+        let c = st.fresh_eps();
+        let e = st.fresh_eps();
+        st.add_atom(c, AtomI::Eps(e));
+        let _ = (st.latent_of(c), st.latent_of(e));
+        let r = st.fresh_rho();
+        st.add_atom(e, AtomI::Rho(r));
+        assert!(st.latent_of(e).contains(&AtomI::Rho(r)));
+        assert!(st.latent_of(c).contains(&AtomI::Rho(r)));
+    }
+
+    #[test]
+    fn equal_result_sets_are_pointer_shared() {
+        let mut st = Store::new();
+        let e1 = st.fresh_eps();
+        let e2 = st.fresh_eps();
+        let r = st.fresh_rho();
+        st.add_atom(e1, AtomI::Rho(r));
+        st.add_atom(e2, AtomI::Rho(r));
+        let a = st.latent_of(e1);
+        let b = st.latent_of(e2);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert!(st.stats().intern_hits >= 1);
     }
 
     #[test]

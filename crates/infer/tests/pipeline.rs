@@ -19,7 +19,7 @@ fn pipeline(src: &str, strategy: Strategy) -> rml_infer::Output {
     .unwrap()
 }
 
-fn check(out: &rml_infer::Output, gc: GcCheck) -> Result<(), String> {
+fn check(out: &rml_infer::Output, gc: GcCheck) -> Result<(), rml_core::CheckError> {
     let checker = Checker {
         exns: out.exns.clone(),
         gc,

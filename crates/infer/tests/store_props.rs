@@ -253,6 +253,12 @@ enum SOp {
     UnionRho(usize, usize),
     AddRho(usize, usize),
     AddEps(usize, usize),
+    /// A mid-script closure query, compared against the oracle on the
+    /// spot. Interleaving queries with mutations is what exercises the
+    /// memo machinery: each query populates the per-root caches, and the
+    /// next mutation must evict exactly the stale entries (per-root dirty
+    /// bits for inserts, a full flush for unions).
+    Query(usize),
 }
 
 fn scripts() -> impl Strategy<Value = Vec<SOp>> {
@@ -264,6 +270,7 @@ fn scripts() -> impl Strategy<Value = Vec<SOp>> {
             (0usize..64, 0usize..64).prop_map(|(a, b)| SOp::UnionRho(a, b)),
             (0usize..64, 0usize..64).prop_map(|(e, r)| SOp::AddRho(e, r)),
             (0usize..64, 0usize..64).prop_map(|(a, b)| SOp::AddEps(a, b)),
+            (0usize..64).prop_map(SOp::Query),
         ],
         0..48,
     )
@@ -341,6 +348,34 @@ proptest! {
                     let (a, b) = (eps[a % eps.len()], eps[b % eps.len()]);
                     st.add_atom(a, AtomI::Eps(b));
                     or.add_atom(a, AtomI::Eps(b));
+                }
+                SOp::Query(e) => {
+                    let e = eps[e % eps.len()];
+                    let (nr, ne) = (rho.len(), eps.len());
+                    let got: BTreeSet<AtomI> = st
+                        .latent_of(e)
+                        .iter()
+                        .map(|a| norm_real(&st, nr, ne, *a))
+                        .collect();
+                    let want: BTreeSet<AtomI> = or
+                        .latent_of(e)
+                        .iter()
+                        .map(|a| norm_naive(&or, nr, ne, *a))
+                        .collect();
+                    prop_assert_eq!(&got, &want, "mid-script latent_of({e:?}) differs");
+                    let mut s = BTreeSet::new();
+                    s.insert(AtomI::Eps(e));
+                    let got: BTreeSet<AtomI> = st
+                        .atom_closure(&s)
+                        .iter()
+                        .map(|a| norm_real(&st, nr, ne, *a))
+                        .collect();
+                    let want: BTreeSet<AtomI> = or
+                        .atom_closure(&s)
+                        .iter()
+                        .map(|a| norm_naive(&or, nr, ne, *a))
+                        .collect();
+                    prop_assert_eq!(&got, &want, "mid-script atom_closure({e:?}) differs");
                 }
             }
         }

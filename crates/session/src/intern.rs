@@ -1,0 +1,89 @@
+//! Hash-consing interners.
+//!
+//! An [`Interner`] maps structurally equal values to one shared `Rc`, so
+//! consumers (the region-inference store's latent/closure memos, scheme
+//! instantiation) hold cheap pointer-shared handles instead of per-use
+//! cloned collections. Interned handles compare equal by pointer when the
+//! values are equal, which also makes set equality O(1) on the fast path.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// A hash-consing interner for values of type `T`.
+#[derive(Debug)]
+pub struct Interner<T: Eq + Hash> {
+    map: HashMap<Rc<T>, ()>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T: Eq + Hash> Default for Interner<T> {
+    fn default() -> Interner<T> {
+        Interner {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<T: Eq + Hash> Interner<T> {
+    /// An empty interner.
+    pub fn new() -> Interner<T> {
+        Interner::default()
+    }
+
+    /// Returns the canonical shared handle for `value`, allocating it on
+    /// first sight.
+    pub fn intern(&mut self, value: T) -> Rc<T> {
+        if let Some((k, ())) = self.map.get_key_value(&value) {
+            self.hits += 1;
+            return Rc::clone(k);
+        }
+        self.misses += 1;
+        let rc = Rc::new(value);
+        self.map.insert(Rc::clone(&rc), ());
+        rc
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` — how often `intern` found an existing value.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn equal_values_share_one_allocation() {
+        let mut i: Interner<BTreeSet<u32>> = Interner::new();
+        let a = i.intern([1, 2, 3].into_iter().collect());
+        let b = i.intern([3, 2, 1].into_iter().collect());
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_values_stay_distinct() {
+        let mut i: Interner<&'static str> = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert!(!Rc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 2);
+    }
+}

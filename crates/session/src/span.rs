@@ -1,0 +1,156 @@
+//! Byte-range source spans and the line/column table used to render them.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+///
+/// Spans are deliberately tiny (two `u32`s, `Copy`) so every token and AST
+/// node can carry one. The [`Span::DUMMY`] span marks synthesised nodes
+/// (desugared forms, test helpers) that have no source of their own.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: u32,
+    /// End byte offset (exclusive).
+    pub end: u32,
+}
+
+impl Span {
+    /// The span of synthesised nodes: `0..0`.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Builds a span, clamping `end >= start`.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// `true` for the dummy span of synthesised nodes.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// The smallest span covering both `self` and `other`. Dummy spans are
+    /// the identity of `merge`, so desugared nodes inherit real positions
+    /// from whichever side has them.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span::new(self.start.min(other.start), self.end.max(other.end))
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// `true` when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A source buffer with a precomputed line table, mapping byte offsets to
+/// 1-based line/column pairs and back to line text for rendering.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    src: String,
+    /// Byte offset of the start of each line (line 1 starts at 0).
+    line_starts: Vec<u32>,
+}
+
+impl SourceMap {
+    /// Builds the line table for `src`.
+    pub fn new(src: &str) -> SourceMap {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            src: src.to_string(),
+            line_starts,
+        }
+    }
+
+    /// The underlying source text.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// Maps a byte offset to a 1-based `(line, column)` pair. Offsets past
+    /// the end of the buffer land on the last position.
+    pub fn line_col(&self, byte: u32) -> (u32, u32) {
+        let byte = byte.min(self.src.len() as u32);
+        let line = match self.line_starts.binary_search(&byte) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, byte - self.line_starts[line] + 1)
+    }
+
+    /// The text of a 1-based line, without its trailing newline.
+    pub fn line_text(&self, line: u32) -> &str {
+        let i = (line as usize).saturating_sub(1);
+        if i >= self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[i] as usize;
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .map(|e| *e as usize)
+            .unwrap_or(self.src.len());
+        self.src[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// The number of lines.
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both_and_ignores_dummy() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(Span::DUMMY.merge(b), b);
+        assert_eq!(a.merge(Span::DUMMY), a);
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let sm = SourceMap::new("ab\ncd\n");
+        assert_eq!(sm.line_col(0), (1, 1));
+        assert_eq!(sm.line_col(1), (1, 2));
+        assert_eq!(sm.line_col(3), (2, 1));
+        assert_eq!(sm.line_col(4), (2, 2));
+        assert_eq!(sm.line_count(), 3);
+    }
+
+    #[test]
+    fn line_text_strips_newline() {
+        let sm = SourceMap::new("first\nsecond");
+        assert_eq!(sm.line_text(1), "first");
+        assert_eq!(sm.line_text(2), "second");
+        assert_eq!(sm.line_text(9), "");
+    }
+}

@@ -5,8 +5,16 @@
 //! extended with the ML features the paper discusses: lists, conditionals,
 //! strings, references, and exceptions with polymorphic argument types
 //! (Section 4.4).
+//!
+//! Every expression is an [`Expr`]: an [`ExprKind`] paired with the
+//! byte-range [`Span`] of the source text it came from. Equality on
+//! expressions (and on [`FunBind`]s) deliberately ignores spans, so
+//! structural tests — in particular the parser's desugaring tests, which
+//! compare a sugared parse against its hand-written expansion — are
+//! unaffected by position information.
 
 use crate::symbol::Symbol;
+use rml_session::Span;
 use std::fmt;
 
 /// A whole program: a sequence of top-level declarations.
@@ -32,7 +40,7 @@ pub enum Decl {
 }
 
 /// One binding of a `fun` declaration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct FunBind {
     /// Function name.
     pub name: Symbol,
@@ -42,6 +50,19 @@ pub struct FunBind {
     pub ret: Option<TyAnn>,
     /// The function body.
     pub body: Expr,
+    /// Span of the function's name token ([`Span::DUMMY`] when
+    /// synthesised).
+    pub span: Span,
+}
+
+impl PartialEq for FunBind {
+    /// Structural equality, ignoring spans (see module docs).
+    fn eq(&self, other: &FunBind) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.ret == other.ret
+            && self.body == other.body
+    }
 }
 
 /// Surface type annotations (`(e : ty)`, parameter and result constraints).
@@ -162,9 +183,39 @@ impl fmt::Display for PrimOp {
     }
 }
 
-/// Expressions.
+/// An expression: a shape ([`ExprKind`]) plus the source span it covers.
+///
+/// Equality ignores the span (see module docs), so desugared forms compare
+/// equal to their hand-written expansions.
+#[derive(Debug, Clone, Eq)]
+pub struct Expr {
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// Byte range in the source buffer; [`Span::DUMMY`] for synthesised
+    /// nodes.
+    pub span: Span,
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl From<ExprKind> for Expr {
+    /// Wraps a kind with the dummy span — the form used by tests and
+    /// synthesised (desugared) nodes.
+    fn from(kind: ExprKind) -> Expr {
+        Expr {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// Expression shapes.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Expr {
+pub enum ExprKind {
     /// `()`
     Unit,
     /// Integer literal.
@@ -248,15 +299,22 @@ pub enum Expr {
     Con(Symbol, Option<Box<Expr>>),
 }
 
+impl ExprKind {
+    /// Attaches a span, producing an [`Expr`].
+    pub fn at(self, span: Span) -> Expr {
+        Expr { kind: self, span }
+    }
+}
+
 impl Expr {
-    /// Convenience constructor for a variable.
+    /// Convenience constructor for a variable (dummy span).
     pub fn var(name: &str) -> Expr {
-        Expr::Var(Symbol::intern(name))
+        ExprKind::Var(Symbol::intern(name)).into()
     }
 
-    /// Convenience constructor for application.
+    /// Convenience constructor for application (dummy span).
     pub fn app(f: Expr, a: Expr) -> Expr {
-        Expr::App(Box::new(f), Box::new(a))
+        ExprKind::App(Box::new(f), Box::new(a)).into()
     }
 
     /// Number of AST nodes, used for `loc`-style size metrics.
@@ -268,19 +326,23 @@ impl Expr {
 
     /// Calls `f` on each immediate child expression.
     pub fn for_children<F: FnMut(&Expr)>(&self, mut f: F) {
-        match self {
-            Expr::Unit | Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Var(_) | Expr::Nil => {
-            }
-            Expr::Lam { body, .. } => f(body),
-            Expr::App(a, b)
-            | Expr::Pair(a, b)
-            | Expr::Cons(a, b)
-            | Expr::Assign(a, b)
-            | Expr::Seq(a, b) => {
+        match &self.kind {
+            ExprKind::Unit
+            | ExprKind::Int(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Var(_)
+            | ExprKind::Nil => {}
+            ExprKind::Lam { body, .. } => f(body),
+            ExprKind::App(a, b)
+            | ExprKind::Pair(a, b)
+            | ExprKind::Cons(a, b)
+            | ExprKind::Assign(a, b)
+            | ExprKind::Seq(a, b) => {
                 f(a);
                 f(b);
             }
-            Expr::Let { decls, body } => {
+            ExprKind::Let { decls, body } => {
                 for d in decls {
                     match d {
                         Decl::Val(_, e) => f(e),
@@ -294,20 +356,22 @@ impl Expr {
                 }
                 f(body);
             }
-            Expr::Sel(_, e) | Expr::Ref(e) | Expr::Deref(e) | Expr::Ann(e, _) | Expr::Raise(e) => {
-                f(e)
-            }
-            Expr::If(a, b, c) => {
+            ExprKind::Sel(_, e)
+            | ExprKind::Ref(e)
+            | ExprKind::Deref(e)
+            | ExprKind::Ann(e, _)
+            | ExprKind::Raise(e) => f(e),
+            ExprKind::If(a, b, c) => {
                 f(a);
                 f(b);
                 f(c);
             }
-            Expr::Prim(_, args) => {
+            ExprKind::Prim(_, args) => {
                 for a in args {
                     f(a);
                 }
             }
-            Expr::CaseList {
+            ExprKind::CaseList {
                 scrut,
                 nil_rhs,
                 cons_rhs,
@@ -317,11 +381,11 @@ impl Expr {
                 f(nil_rhs);
                 f(cons_rhs);
             }
-            Expr::Handle { body, handler, .. } => {
+            ExprKind::Handle { body, handler, .. } => {
                 f(body);
                 f(handler);
             }
-            Expr::Con(_, arg) => {
+            ExprKind::Con(_, arg) => {
                 if let Some(a) = arg {
                     f(a);
                 }
@@ -364,15 +428,23 @@ mod tests {
 
     #[test]
     fn expr_size_counts_nodes() {
-        let e = Expr::app(Expr::var("f"), Expr::Int(1));
+        let e = Expr::app(Expr::var("f"), ExprKind::Int(1).into());
         assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = ExprKind::Int(1).at(Span::new(3, 4));
+        let b = ExprKind::Int(1).at(Span::new(7, 8));
+        assert_eq!(a, b);
+        assert_ne!(a, ExprKind::Int(2).into());
     }
 
     #[test]
     fn program_size_counts_decls() {
         let p = Program {
             decls: vec![
-                Decl::Val(Symbol::intern("x"), Expr::Int(1)),
+                Decl::Val(Symbol::intern("x"), ExprKind::Int(1).into()),
                 Decl::Exception(Symbol::intern("E"), None),
             ],
         };

@@ -3,6 +3,7 @@
 //! Produces a vector of [`Token`]s with line/column positions. Comments are
 //! SML-style `(* ... *)` and nest.
 
+use rml_session::Span;
 use std::fmt;
 
 /// A lexical token.
@@ -131,7 +132,8 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token paired with its source position (1-based line and column).
+/// A token paired with its source position (1-based line and column) and
+/// byte-range span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// The token itself.
@@ -140,6 +142,8 @@ pub struct Token {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Byte range of the token in the source buffer.
+    pub span: Span,
 }
 
 /// Lexing error.
@@ -151,6 +155,8 @@ pub struct LexError {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Byte range of the offending text.
+    pub span: Span,
 }
 
 impl fmt::Display for LexError {
@@ -194,6 +200,7 @@ impl<'a> Lexer<'a> {
             msg: msg.into(),
             line: self.line,
             col: self.col,
+            span: Span::new(self.pos as u32, self.pos as u32 + 1),
         }
     }
 
@@ -204,7 +211,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 Some(b'(') if self.peek2() == Some(b'*') => {
-                    let (l, c) = (self.line, self.col);
+                    let (l, c, p) = (self.line, self.col, self.pos);
                     self.bump();
                     self.bump();
                     let mut depth = 1usize;
@@ -231,6 +238,7 @@ impl<'a> Lexer<'a> {
                                     msg: "unterminated comment".into(),
                                     line: l,
                                     col: c,
+                                    span: Span::new(p as u32, p as u32 + 2),
                                 })
                             }
                         }
@@ -291,6 +299,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     loop {
         lx.skip_ws_and_comments()?;
         let (line, col) = (lx.line, lx.col);
+        let start = lx.pos as u32;
         let Some(c) = lx.peek() else { break };
         let tok = match c {
             b'0'..=b'9' => {
@@ -456,7 +465,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             other => return Err(lx.err(format!("unexpected character {:?}", other as char))),
         };
-        out.push(Token { tok, line, col });
+        out.push(Token {
+            tok,
+            line,
+            col,
+            span: Span::new(start, lx.pos as u32),
+        });
     }
     Ok(out)
 }

@@ -40,6 +40,7 @@ pub mod parser;
 pub mod pretty;
 pub mod symbol;
 
-pub use ast::{Decl, Expr, FunBind, Program, TyAnn};
+pub use ast::{Decl, Expr, ExprKind, FunBind, Program, TyAnn};
 pub use parser::{parse_expr, parse_program, ParseError};
+pub use rml_session::Span;
 pub use symbol::Symbol;

@@ -4,13 +4,20 @@
 //! bind loosest, then `orelse`, `andalso`, `:=`, comparisons, `::` (right
 //! associative), additive operators (`+ - ^`), multiplicative operators
 //! (`* div mod`), application, and atomic expressions.
+//!
+//! Every production records the byte-range [`Span`] of the source text it
+//! consumed: leaves take their token's span, composites merge the spans of
+//! their first and last tokens, and desugared nodes (tuples, `andalso`,
+//! list literals, tuple-pattern bindings) inherit the span of the sugar
+//! they expand.
 
-use crate::ast::{Decl, Expr, FunBind, PrimOp, Program, TyAnn};
+use crate::ast::{Decl, Expr, ExprKind, FunBind, PrimOp, Program, TyAnn};
 use crate::lexer::{lex, LexError, Tok, Token};
 use crate::symbol::Symbol;
+use rml_session::Span;
 use std::fmt;
 
-/// Parse error, carrying a 1-based source position.
+/// Parse error, carrying a 1-based source position and a byte span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Human-readable message.
@@ -19,6 +26,9 @@ pub struct ParseError {
     pub line: u32,
     /// 1-based column (0 when at end of input).
     pub col: u32,
+    /// Byte range of the offending token (the last token when at end of
+    /// input; [`Span::DUMMY`] for empty input).
+    pub span: Span,
 }
 
 impl fmt::Display for ParseError {
@@ -35,6 +45,7 @@ impl From<LexError> for ParseError {
             msg: e.msg,
             line: e.line,
             col: e.col,
+            span: e.span,
         }
     }
 }
@@ -70,6 +81,30 @@ impl Parser {
         t
     }
 
+    /// Span of the next token to consume (falling back to the last token's
+    /// span at end of input).
+    fn cur_span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.span)
+            .unwrap_or(Span::DUMMY)
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        if self.pos == 0 {
+            Span::DUMMY
+        } else {
+            self.toks[self.pos - 1].span
+        }
+    }
+
+    /// Wraps `kind` in the span from `lo` through the last consumed token.
+    fn close(&self, lo: Span, kind: ExprKind) -> Expr {
+        kind.at(lo.merge(self.prev_span()))
+    }
+
     fn err_here(&self, msg: impl Into<String>) -> ParseError {
         let (line, col) = self
             .toks
@@ -80,6 +115,7 @@ impl Parser {
             msg: msg.into(),
             line,
             col,
+            span: self.cur_span(),
         }
     }
 
@@ -227,6 +263,7 @@ impl Parser {
     }
 
     fn funbind(&mut self) -> PResult<FunBind> {
+        let name_span = self.cur_span();
         let name = self.ident()?;
         let mut params = vec![self.param()?];
         while matches!(
@@ -253,6 +290,7 @@ impl Parser {
             params: params.into_iter().map(|p| (p.var, p.ann)).collect(),
             ret,
             body,
+            span: name_span,
         })
     }
 
@@ -312,35 +350,42 @@ impl Parser {
     }
 
     /// Wraps `body` with bindings that destructure the tuple parameter
-    /// `var` into `comps` via nested pair projections.
+    /// `var` into `comps` via nested pair projections. The synthesised
+    /// nodes inherit the body's span.
     fn wrap_tuple_param(var: Symbol, comps: &[Symbol], body: Expr) -> Expr {
         // (a, b, c) matches the right-nested pair (a, (b, c)).
+        let span = body.span;
         let mut decls = Vec::new();
-        let mut path: Expr = Expr::Var(var);
+        let mut path: Expr = ExprKind::Var(var).at(span);
         for (i, &c) in comps.iter().enumerate() {
             if i + 1 == comps.len() {
                 decls.push(Decl::Val(c, path.clone()));
             } else {
-                decls.push(Decl::Val(c, Expr::Sel(1, Box::new(path.clone()))));
-                path = Expr::Sel(2, Box::new(path));
+                decls.push(Decl::Val(
+                    c,
+                    ExprKind::Sel(1, Box::new(path.clone())).at(span),
+                ));
+                path = ExprKind::Sel(2, Box::new(path)).at(span);
             }
         }
-        Expr::Let {
+        ExprKind::Let {
             decls,
             body: Box::new(body),
         }
+        .at(span)
     }
 
     // ---------- expressions ----------
 
     fn expr(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let mut e = self.expr_orelse()?;
         loop {
             match self.peek() {
                 Some(Tok::Colon) => {
                     self.bump();
                     let t = self.ty()?;
-                    e = Expr::Ann(Box::new(e), t);
+                    e = self.close(lo, ExprKind::Ann(Box::new(e), t));
                 }
                 Some(Tok::Handle) => {
                     self.bump();
@@ -353,12 +398,15 @@ impl Parser {
                     };
                     self.expect(Tok::DArrow)?;
                     let handler = self.expr()?;
-                    e = Expr::Handle {
-                        body: Box::new(e),
-                        exn,
-                        arg,
-                        handler: Box::new(handler),
-                    };
+                    e = self.close(
+                        lo,
+                        ExprKind::Handle {
+                            body: Box::new(e),
+                            exn,
+                            arg,
+                            handler: Box::new(handler),
+                        },
+                    );
                 }
                 _ => return Ok(e),
             }
@@ -366,46 +414,44 @@ impl Parser {
     }
 
     fn expr_orelse(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let lhs = self.expr_andalso()?;
         if self.eat(&Tok::Orelse) {
             let rhs = self.expr_orelse()?;
             // e1 orelse e2  ==  if e1 then true else e2
-            Ok(Expr::If(
-                Box::new(lhs),
-                Box::new(Expr::Bool(true)),
-                Box::new(rhs),
-            ))
+            let t: Expr = ExprKind::Bool(true).into();
+            Ok(self.close(lo, ExprKind::If(Box::new(lhs), Box::new(t), Box::new(rhs))))
         } else {
             Ok(lhs)
         }
     }
 
     fn expr_andalso(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let lhs = self.expr_assign()?;
         if self.eat(&Tok::Andalso) {
             let rhs = self.expr_andalso()?;
             // e1 andalso e2  ==  if e1 then e2 else false
-            Ok(Expr::If(
-                Box::new(lhs),
-                Box::new(rhs),
-                Box::new(Expr::Bool(false)),
-            ))
+            let f: Expr = ExprKind::Bool(false).into();
+            Ok(self.close(lo, ExprKind::If(Box::new(lhs), Box::new(rhs), Box::new(f))))
         } else {
             Ok(lhs)
         }
     }
 
     fn expr_assign(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let lhs = self.expr_cmp()?;
         if self.eat(&Tok::Assign) {
             let rhs = self.expr_cmp()?;
-            Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)))
+            Ok(self.close(lo, ExprKind::Assign(Box::new(lhs), Box::new(rhs))))
         } else {
             Ok(lhs)
         }
     }
 
     fn expr_cmp(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let lhs = self.expr_cons()?;
         let op = match self.peek() {
             Some(Tok::Equal) => PrimOp::Eq,
@@ -418,20 +464,22 @@ impl Parser {
         };
         self.bump();
         let rhs = self.expr_cons()?;
-        Ok(Expr::Prim(op, vec![lhs, rhs]))
+        Ok(self.close(lo, ExprKind::Prim(op, vec![lhs, rhs])))
     }
 
     fn expr_cons(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let lhs = self.expr_add()?;
         if self.eat(&Tok::Cons) {
             let rhs = self.expr_cons()?; // right associative
-            Ok(Expr::Cons(Box::new(lhs), Box::new(rhs)))
+            Ok(self.close(lo, ExprKind::Cons(Box::new(lhs), Box::new(rhs))))
         } else {
             Ok(lhs)
         }
     }
 
     fn expr_add(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let mut lhs = self.expr_mul()?;
         loop {
             let op = match self.peek() {
@@ -442,11 +490,12 @@ impl Parser {
             };
             self.bump();
             let rhs = self.expr_mul()?;
-            lhs = Expr::Prim(op, vec![lhs, rhs]);
+            lhs = self.close(lo, ExprKind::Prim(op, vec![lhs, rhs]));
         }
     }
 
     fn expr_mul(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let mut lhs = self.expr_app()?;
         loop {
             let op = match self.peek() {
@@ -457,7 +506,7 @@ impl Parser {
             };
             self.bump();
             let rhs = self.expr_app()?;
-            lhs = Expr::Prim(op, vec![lhs, rhs]);
+            lhs = self.close(lo, ExprKind::Prim(op, vec![lhs, rhs]));
         }
     }
 
@@ -465,7 +514,8 @@ impl Parser {
         let mut e = self.expr_unary()?;
         while self.starts_atom() {
             let arg = self.expr_unary()?;
-            e = Expr::App(Box::new(e), Box::new(arg));
+            let span = e.span.merge(arg.span);
+            e = ExprKind::App(Box::new(e), Box::new(arg)).at(span);
         }
         Ok(e)
     }
@@ -494,6 +544,7 @@ impl Parser {
     }
 
     fn expr_unary(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         match self.peek() {
             Some(Tok::Tilde) => {
                 self.bump();
@@ -501,37 +552,37 @@ impl Parser {
                 if let Some(Tok::Int(n)) = self.peek() {
                     let n = *n;
                     self.bump();
-                    Ok(Expr::Int(-n))
+                    Ok(self.close(lo, ExprKind::Int(-n)))
                 } else {
                     let e = self.expr_unary()?;
-                    Ok(Expr::Prim(PrimOp::Neg, vec![e]))
+                    Ok(self.close(lo, ExprKind::Prim(PrimOp::Neg, vec![e])))
                 }
             }
             Some(Tok::Bang) => {
                 self.bump();
                 let e = self.expr_unary()?;
-                Ok(Expr::Deref(Box::new(e)))
+                Ok(self.close(lo, ExprKind::Deref(Box::new(e))))
             }
             Some(Tok::RefKw) => {
                 self.bump();
                 let e = self.expr_unary()?;
-                Ok(Expr::Ref(Box::new(e)))
+                Ok(self.close(lo, ExprKind::Ref(Box::new(e))))
             }
             Some(Tok::Not) => {
                 self.bump();
                 let e = self.expr_unary()?;
-                Ok(Expr::Prim(PrimOp::Not, vec![e]))
+                Ok(self.close(lo, ExprKind::Prim(PrimOp::Not, vec![e])))
             }
             Some(Tok::Hash) => {
                 self.bump();
                 match self.bump() {
                     Some(Tok::Int(1)) => {
                         let e = self.expr_unary()?;
-                        Ok(Expr::Sel(1, Box::new(e)))
+                        Ok(self.close(lo, ExprKind::Sel(1, Box::new(e))))
                     }
                     Some(Tok::Int(2)) => {
                         let e = self.expr_unary()?;
-                        Ok(Expr::Sel(2, Box::new(e)))
+                        Ok(self.close(lo, ExprKind::Sel(2, Box::new(e))))
                     }
                     _ => {
                         self.pos -= 1;
@@ -544,32 +595,33 @@ impl Parser {
     }
 
     fn expr_atom(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         match self.peek() {
             Some(Tok::Int(_)) => {
                 let Some(Tok::Int(n)) = self.bump() else {
                     unreachable!()
                 };
-                Ok(Expr::Int(n))
+                Ok(ExprKind::Int(n).at(lo))
             }
             Some(Tok::Str(_)) => {
                 let Some(Tok::Str(s)) = self.bump() else {
                     unreachable!()
                 };
-                Ok(Expr::Str(s))
+                Ok(ExprKind::Str(s).at(lo))
             }
             Some(Tok::True) => {
                 self.bump();
-                Ok(Expr::Bool(true))
+                Ok(ExprKind::Bool(true).at(lo))
             }
             Some(Tok::False) => {
                 self.bump();
-                Ok(Expr::Bool(false))
+                Ok(ExprKind::Bool(false).at(lo))
             }
             Some(Tok::NilKw) => {
                 self.bump();
-                Ok(Expr::Nil)
+                Ok(ExprKind::Nil.at(lo))
             }
-            Some(Tok::Ident(_) | Tok::Underscore) => Ok(Expr::Var(self.ident()?)),
+            Some(Tok::Ident(_) | Tok::Underscore) => Ok(ExprKind::Var(self.ident()?).at(lo)),
             Some(Tok::Fn) => {
                 self.bump();
                 let p = self.param()?;
@@ -578,11 +630,14 @@ impl Parser {
                 if let Some(comps) = &p.tuple {
                     body = Self::wrap_tuple_param(p.var, comps, body);
                 }
-                Ok(Expr::Lam {
-                    param: p.var,
-                    ann: p.ann,
-                    body: Box::new(body),
-                })
+                Ok(self.close(
+                    lo,
+                    ExprKind::Lam {
+                        param: p.var,
+                        ann: p.ann,
+                        body: Box::new(body),
+                    },
+                ))
             }
             Some(Tok::If) => {
                 self.bump();
@@ -591,18 +646,19 @@ impl Parser {
                 let t = self.expr()?;
                 self.expect(Tok::Else)?;
                 let e = self.expr()?;
-                Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+                Ok(self.close(lo, ExprKind::If(Box::new(c), Box::new(t), Box::new(e))))
             }
             Some(Tok::Case) => {
                 self.bump();
                 let scrut = self.expr()?;
                 self.expect(Tok::Of)?;
-                self.case_match(scrut)
+                let e = self.case_match(scrut)?;
+                Ok(self.close(lo, e.kind))
             }
             Some(Tok::Raise) => {
                 self.bump();
                 let e = self.expr()?;
-                Ok(Expr::Raise(Box::new(e)))
+                Ok(self.close(lo, ExprKind::Raise(Box::new(e))))
             }
             Some(Tok::Let) => {
                 self.bump();
@@ -613,15 +669,18 @@ impl Parser {
                 self.expect(Tok::In)?;
                 let body = self.expr_seq()?;
                 self.expect(Tok::End)?;
-                Ok(Expr::Let {
-                    decls,
-                    body: Box::new(body),
-                })
+                Ok(self.close(
+                    lo,
+                    ExprKind::Let {
+                        decls,
+                        body: Box::new(body),
+                    },
+                ))
             }
             Some(Tok::LParen) => {
                 self.bump();
                 if self.eat(&Tok::RParen) {
-                    return Ok(Expr::Unit);
+                    return Ok(self.close(lo, ExprKind::Unit));
                 }
                 let first = self.expr()?;
                 match self.peek() {
@@ -631,11 +690,12 @@ impl Parser {
                             items.push(self.expr()?);
                         }
                         self.expect(Tok::RParen)?;
+                        let span = lo.merge(self.prev_span());
                         // Right-nest tuples into pairs.
                         let mut it = items.into_iter().rev();
                         let mut acc = it.next().unwrap();
                         for x in it {
-                            acc = Expr::Pair(Box::new(x), Box::new(acc));
+                            acc = ExprKind::Pair(Box::new(x), Box::new(acc)).at(span);
                         }
                         Ok(acc)
                     }
@@ -645,16 +705,20 @@ impl Parser {
                             items.push(self.expr()?);
                         }
                         self.expect(Tok::RParen)?;
+                        let span = lo.merge(self.prev_span());
                         let mut it = items.into_iter().rev();
                         let mut acc = it.next().unwrap();
                         for x in it {
-                            acc = Expr::Seq(Box::new(x), Box::new(acc));
+                            acc = ExprKind::Seq(Box::new(x), Box::new(acc)).at(span);
                         }
                         Ok(acc)
                     }
                     _ => {
                         self.expect(Tok::RParen)?;
-                        Ok(first)
+                        // Keep the inner expression but widen its span to
+                        // include the parentheses.
+                        let span = lo.merge(self.prev_span());
+                        Ok(first.kind.at(span))
                     }
                 }
             }
@@ -668,9 +732,10 @@ impl Parser {
                     }
                     self.expect(Tok::RBracket)?;
                 }
-                let mut acc = Expr::Nil;
+                let span = lo.merge(self.prev_span());
+                let mut acc = ExprKind::Nil.at(span);
                 for x in items.into_iter().rev() {
-                    acc = Expr::Cons(Box::new(x), Box::new(acc));
+                    acc = ExprKind::Cons(Box::new(x), Box::new(acc)).at(span);
                 }
                 Ok(acc)
             }
@@ -695,13 +760,14 @@ impl Parser {
             let tail = self.ident()?;
             self.expect(Tok::DArrow)?;
             let cons_rhs = self.expr()?;
-            Ok(Expr::CaseList {
+            Ok(ExprKind::CaseList {
                 scrut: Box::new(scrut),
                 nil_rhs: Box::new(nil_rhs),
                 head,
                 tail,
                 cons_rhs: Box::new(cons_rhs),
-            })
+            }
+            .into())
         } else {
             let head = self.ident()?;
             self.expect(Tok::Cons)?;
@@ -714,13 +780,14 @@ impl Parser {
             }
             self.expect(Tok::DArrow)?;
             let nil_rhs = self.expr()?;
-            Ok(Expr::CaseList {
+            Ok(ExprKind::CaseList {
                 scrut: Box::new(scrut),
                 nil_rhs: Box::new(nil_rhs),
                 head,
                 tail,
                 cons_rhs: Box::new(cons_rhs),
-            })
+            }
+            .into())
         }
     }
 
@@ -735,10 +802,11 @@ impl Parser {
     }
 
     fn expr_seq(&mut self) -> PResult<Expr> {
+        let lo = self.cur_span();
         let first = self.expr()?;
         if self.eat(&Tok::Semi) {
             let rest = self.expr_seq()?;
-            Ok(Expr::Seq(Box::new(first), Box::new(rest)))
+            Ok(self.close(lo, ExprKind::Seq(Box::new(first), Box::new(rest))))
         } else {
             Ok(first)
         }
@@ -794,7 +862,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{Decl, Expr, PrimOp};
+    use crate::ast::{Decl, Expr, ExprKind, PrimOp};
 
     #[test]
     fn parses_application_left_assoc() {
@@ -808,27 +876,28 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3").unwrap();
+        let mul: Expr = ExprKind::Prim(
+            PrimOp::Mul,
+            vec![ExprKind::Int(2).into(), ExprKind::Int(3).into()],
+        )
+        .into();
         assert_eq!(
             e,
-            Expr::Prim(
-                PrimOp::Add,
-                vec![
-                    Expr::Int(1),
-                    Expr::Prim(PrimOp::Mul, vec![Expr::Int(2), Expr::Int(3)])
-                ]
-            )
+            ExprKind::Prim(PrimOp::Add, vec![ExprKind::Int(1).into(), mul]).into()
         );
     }
 
     #[test]
     fn cons_is_right_assoc() {
         let e = parse_expr("1 :: 2 :: nil").unwrap();
+        let tail: Expr = ExprKind::Cons(
+            Box::new(ExprKind::Int(2).into()),
+            Box::new(ExprKind::Nil.into()),
+        )
+        .into();
         assert_eq!(
             e,
-            Expr::Cons(
-                Box::new(Expr::Int(1)),
-                Box::new(Expr::Cons(Box::new(Expr::Int(2)), Box::new(Expr::Nil)))
-            )
+            ExprKind::Cons(Box::new(ExprKind::Int(1).into()), Box::new(tail)).into()
         );
     }
 
@@ -838,7 +907,7 @@ mod tests {
             parse_expr("[1, 2]").unwrap(),
             parse_expr("1 :: 2 :: nil").unwrap()
         );
-        assert_eq!(parse_expr("[]").unwrap(), Expr::Nil);
+        assert_eq!(parse_expr("[]").unwrap(), ExprKind::Nil.into());
     }
 
     #[test]
@@ -854,20 +923,21 @@ mod tests {
         let e = parse_expr("#1 p + #2 p").unwrap();
         assert_eq!(
             e,
-            Expr::Prim(
+            ExprKind::Prim(
                 PrimOp::Add,
                 vec![
-                    Expr::Sel(1, Box::new(Expr::var("p"))),
-                    Expr::Sel(2, Box::new(Expr::var("p")))
+                    ExprKind::Sel(1, Box::new(Expr::var("p"))).into(),
+                    ExprKind::Sel(2, Box::new(Expr::var("p"))).into()
                 ]
             )
+            .into()
         );
     }
 
     #[test]
     fn let_with_fun_and_val() {
         let e = parse_expr("let val x = 1 fun f y = y + x in f 2 end").unwrap();
-        let Expr::Let { decls, .. } = e else {
+        let ExprKind::Let { decls, .. } = e.kind else {
             panic!("expected let")
         };
         assert_eq!(decls.len(), 2);
@@ -906,19 +976,19 @@ mod tests {
     #[test]
     fn refs_and_assignment() {
         let e = parse_expr("r := !r + 1").unwrap();
-        assert!(matches!(e, Expr::Assign(..)));
+        assert!(matches!(e.kind, ExprKind::Assign(..)));
     }
 
     #[test]
     fn sequencing_in_parens() {
         let e = parse_expr("(print \"a\"; 1)").unwrap();
-        assert!(matches!(e, Expr::Seq(..)));
+        assert!(matches!(e.kind, ExprKind::Seq(..)));
     }
 
     #[test]
     fn annotations() {
         let e = parse_expr("(f : int -> int)").unwrap();
-        assert!(matches!(e, Expr::Ann(..)));
+        assert!(matches!(e.kind, ExprKind::Ann(..)));
     }
 
     #[test]
@@ -942,10 +1012,10 @@ mod tests {
 
     #[test]
     fn negative_literals() {
-        assert_eq!(parse_expr("~3").unwrap(), Expr::Int(-3));
+        assert_eq!(parse_expr("~3").unwrap(), ExprKind::Int(-3).into());
         assert!(matches!(
-            parse_expr("~x").unwrap(),
-            Expr::Prim(PrimOp::Neg, _)
+            parse_expr("~x").unwrap().kind,
+            ExprKind::Prim(PrimOp::Neg, _)
         ));
     }
 
@@ -953,7 +1023,7 @@ mod tests {
     fn string_concat_precedence() {
         // ^ at additive level, below comparison
         let e = parse_expr("\"a\" ^ \"b\" = \"ab\"").unwrap();
-        assert!(matches!(e, Expr::Prim(PrimOp::Eq, _)));
+        assert!(matches!(e.kind, ExprKind::Prim(PrimOp::Eq, _)));
     }
 
     #[test]
@@ -971,11 +1041,51 @@ mod tests {
         let err = parse_expr("let val = 3 in x end").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.col > 1);
+        assert!(!err.span.is_dummy());
     }
 
     #[test]
     fn trailing_input_rejected() {
         assert!(parse_expr("1 2 3 )").is_err());
+    }
+
+    #[test]
+    fn spans_cover_source_text() {
+        let src = "f (g 1)";
+        let e = parse_expr(src).unwrap();
+        assert_eq!((e.span.start, e.span.end), (0, 7));
+        let ExprKind::App(f, arg) = &e.kind else {
+            panic!("expected application")
+        };
+        assert_eq!(&src[f.span.start as usize..f.span.end as usize], "f");
+        assert_eq!(
+            &src[arg.span.start as usize..arg.span.end as usize],
+            "(g 1)"
+        );
+    }
+
+    #[test]
+    fn lambda_span_covers_fn_through_body() {
+        let src = "val h = fn x => x + 1";
+        let p = parse_program(src).unwrap();
+        let Decl::Val(_, e) = &p.decls[0] else {
+            panic!()
+        };
+        assert_eq!(
+            &src[e.span.start as usize..e.span.end as usize],
+            "fn x => x + 1"
+        );
+    }
+
+    #[test]
+    fn funbind_span_is_the_name() {
+        let src = "fun main () = 42";
+        let p = parse_program(src).unwrap();
+        let Decl::Fun(binds) = &p.decls[0] else {
+            panic!()
+        };
+        let sp = binds[0].span;
+        assert_eq!(&src[sp.start as usize..sp.end as usize], "main");
     }
 
     #[test]

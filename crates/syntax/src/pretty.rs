@@ -4,7 +4,7 @@
 //! property tests in this module), which makes the printer usable for
 //! golden tests and error messages.
 
-use crate::ast::{Decl, Expr, Program, TyAnn};
+use crate::ast::{Decl, Expr, ExprKind, Program, TyAnn};
 use std::fmt::Write as _;
 
 /// Renders a type annotation.
@@ -68,8 +68,13 @@ pub fn expr_to_string(e: &Expr) -> String {
 
 fn atom(e: &Expr) -> bool {
     matches!(
-        e,
-        Expr::Unit | Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Var(_) | Expr::Nil
+        e.kind,
+        ExprKind::Unit
+            | ExprKind::Int(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Var(_)
+            | ExprKind::Nil
     )
 }
 
@@ -84,16 +89,16 @@ fn go_atom(e: &Expr, out: &mut String) {
 }
 
 fn go_expr(e: &Expr, out: &mut String) {
-    match e {
-        Expr::Unit => out.push_str("()"),
-        Expr::Int(n) => {
+    match &e.kind {
+        ExprKind::Unit => out.push_str("()"),
+        ExprKind::Int(n) => {
             if *n < 0 {
                 let _ = write!(out, "~{}", -(*n as i128));
             } else {
                 let _ = write!(out, "{n}");
             }
         }
-        Expr::Str(s) => {
+        ExprKind::Str(s) => {
             out.push('"');
             for c in s.chars() {
                 match c {
@@ -106,13 +111,13 @@ fn go_expr(e: &Expr, out: &mut String) {
             }
             out.push('"');
         }
-        Expr::Bool(b) => {
+        ExprKind::Bool(b) => {
             let _ = write!(out, "{b}");
         }
-        Expr::Var(x) => {
+        ExprKind::Var(x) => {
             let _ = write!(out, "{x}");
         }
-        Expr::Lam { param, ann, body } => {
+        ExprKind::Lam { param, ann, body } => {
             match ann {
                 Some(t) => {
                     let _ = write!(out, "fn ({param} : {}) => ", ty_to_string(t));
@@ -123,12 +128,12 @@ fn go_expr(e: &Expr, out: &mut String) {
             }
             go_expr(body, out);
         }
-        Expr::App(f, a) => {
+        ExprKind::App(f, a) => {
             go_atom(f, out);
             out.push(' ');
             go_atom(a, out);
         }
-        Expr::Let { decls, body } => {
+        ExprKind::Let { decls, body } => {
             out.push_str("let ");
             for d in decls {
                 go_decl(d, out);
@@ -138,18 +143,18 @@ fn go_expr(e: &Expr, out: &mut String) {
             go_expr(body, out);
             out.push_str(" end");
         }
-        Expr::Pair(a, b) => {
+        ExprKind::Pair(a, b) => {
             out.push('(');
             go_expr(a, out);
             out.push_str(", ");
             go_expr(b, out);
             out.push(')');
         }
-        Expr::Sel(i, e) => {
+        ExprKind::Sel(i, e) => {
             let _ = write!(out, "#{i} ");
             go_atom(e, out);
         }
-        Expr::If(c, t, f) => {
+        ExprKind::If(c, t, f) => {
             out.push_str("if ");
             go_expr(c, out);
             out.push_str(" then ");
@@ -157,7 +162,7 @@ fn go_expr(e: &Expr, out: &mut String) {
             out.push_str(" else ");
             go_expr(f, out);
         }
-        Expr::Prim(op, args) => match args.len() {
+        ExprKind::Prim(op, args) => match args.len() {
             1 => match op {
                 crate::ast::PrimOp::Neg => {
                     out.push_str("~ ");
@@ -185,13 +190,13 @@ fn go_expr(e: &Expr, out: &mut String) {
                 }
             }
         },
-        Expr::Nil => out.push_str("nil"),
-        Expr::Cons(h, t) => {
+        ExprKind::Nil => out.push_str("nil"),
+        ExprKind::Cons(h, t) => {
             go_atom(h, out);
             out.push_str(" :: ");
             go_atom(t, out);
         }
-        Expr::CaseList {
+        ExprKind::CaseList {
             scrut,
             nil_rhs,
             head,
@@ -205,36 +210,36 @@ fn go_expr(e: &Expr, out: &mut String) {
             let _ = write!(out, " | {head} :: {tail} => ");
             go_expr(cons_rhs, out);
         }
-        Expr::Ref(e) => {
+        ExprKind::Ref(e) => {
             out.push_str("ref ");
             go_atom(e, out);
         }
-        Expr::Deref(e) => {
+        ExprKind::Deref(e) => {
             out.push('!');
             go_atom(e, out);
         }
-        Expr::Assign(a, b) => {
+        ExprKind::Assign(a, b) => {
             go_atom(a, out);
             out.push_str(" := ");
             go_atom(b, out);
         }
-        Expr::Seq(a, b) => {
+        ExprKind::Seq(a, b) => {
             out.push('(');
             go_expr(a, out);
             out.push_str("; ");
             go_expr(b, out);
             out.push(')');
         }
-        Expr::Ann(e, t) => {
+        ExprKind::Ann(e, t) => {
             out.push('(');
             go_expr(e, out);
             let _ = write!(out, " : {})", ty_to_string(t));
         }
-        Expr::Raise(e) => {
+        ExprKind::Raise(e) => {
             out.push_str("raise ");
             go_atom(e, out);
         }
-        Expr::Handle {
+        ExprKind::Handle {
             body,
             exn,
             arg,
@@ -244,7 +249,7 @@ fn go_expr(e: &Expr, out: &mut String) {
             let _ = write!(out, " handle {exn} {arg} => ");
             go_expr(handler, out);
         }
-        Expr::Con(name, arg) => match arg {
+        ExprKind::Con(name, arg) => match arg {
             None => {
                 let _ = write!(out, "{name}");
             }

@@ -1,7 +1,7 @@
 //! Property test: random ASTs survive a print→parse round trip.
 
 use proptest::prelude::*;
-use rml_syntax::ast::{Decl, Expr, PrimOp};
+use rml_syntax::ast::{Decl, Expr, ExprKind, PrimOp};
 use rml_syntax::pretty::{expr_to_string, program_to_string};
 use rml_syntax::{parse_expr, parse_program, Program, Symbol};
 
@@ -28,31 +28,32 @@ fn binop() -> impl Strategy<Value = PrimOp> {
 
 fn expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        Just(Expr::Unit),
-        (-100i64..100).prop_map(Expr::Int),
-        "[a-z ]{0,6}".prop_map(Expr::Str),
-        any::<bool>().prop_map(Expr::Bool),
-        ident().prop_map(Expr::Var),
-        Just(Expr::Nil),
+        Just(Expr::from(ExprKind::Unit)),
+        (-100i64..100).prop_map(|n| Expr::from(ExprKind::Int(n))),
+        "[a-z ]{0,6}".prop_map(|s| Expr::from(ExprKind::Str(s))),
+        any::<bool>().prop_map(|b| Expr::from(ExprKind::Bool(b))),
+        ident().prop_map(|x| Expr::from(ExprKind::Var(x))),
+        Just(Expr::from(ExprKind::Nil)),
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (ident(), inner.clone()).prop_map(|(p, b)| Expr::Lam {
+            (ident(), inner.clone()).prop_map(|(p, b)| Expr::from(ExprKind::Lam {
                 param: p,
                 ann: None,
                 body: Box::new(b),
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::App(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
-            (1u8..3, inner.clone()).prop_map(|(i, e)| Expr::Sel(i, Box::new(e))),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::If(
-                Box::new(c),
-                Box::new(t),
-                Box::new(f)
+            })),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::from(ExprKind::App(Box::new(a), Box::new(b)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::from(ExprKind::Pair(Box::new(a), Box::new(b)))),
+            (1u8..3, inner.clone()).prop_map(|(i, e)| Expr::from(ExprKind::Sel(i, Box::new(e)))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::from(
+                ExprKind::If(Box::new(c), Box::new(t), Box::new(f))
             )),
             (binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Prim(op, vec![a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(h, t)| Expr::Cons(Box::new(h), Box::new(t))),
+                .prop_map(|(op, a, b)| Expr::from(ExprKind::Prim(op, vec![a, b]))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(h, t)| Expr::from(ExprKind::Cons(Box::new(h), Box::new(t)))),
             (
                 inner.clone(),
                 inner.clone(),
@@ -60,23 +61,32 @@ fn expr() -> impl Strategy<Value = Expr> {
                 ident(),
                 inner.clone()
             )
-                .prop_map(|(s, n, h, t, c)| Expr::CaseList {
+                .prop_map(|(s, n, h, t, c)| Expr::from(ExprKind::CaseList {
                     scrut: Box::new(s),
                     nil_rhs: Box::new(n),
                     head: h,
                     tail: t,
                     cons_rhs: Box::new(c),
-                }),
-            inner.clone().prop_map(|e| Expr::Ref(Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Deref(Box::new(e))),
+                })),
+            inner
+                .clone()
+                .prop_map(|e| Expr::from(ExprKind::Ref(Box::new(e)))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::from(ExprKind::Deref(Box::new(e)))),
             (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Assign(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
-            (ident(), inner.clone(), inner.clone()).prop_map(|(x, rhs, body)| Expr::Let {
-                decls: vec![Decl::Val(x, rhs)],
-                body: Box::new(body),
-            }),
-            inner.clone().prop_map(|e| Expr::Raise(Box::new(e))),
+                .prop_map(|(a, b)| Expr::from(ExprKind::Assign(Box::new(a), Box::new(b)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::from(ExprKind::Seq(Box::new(a), Box::new(b)))),
+            (ident(), inner.clone(), inner.clone()).prop_map(|(x, rhs, body)| Expr::from(
+                ExprKind::Let {
+                    decls: vec![Decl::Val(x, rhs)],
+                    body: Box::new(body),
+                }
+            )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::from(ExprKind::Raise(Box::new(e)))),
         ]
     })
 }

@@ -8,16 +8,28 @@
 //!   --print-term            print the region-annotated program
 //!   --print-schemes         print the inferred region type schemes
 //!   --check                 validate against the Figure 4 typing rules
+//!   --check-full            validate against the FULL GC-safety rules
+//!                           (detects the rg- soundness hole; no run)
+//!   --emit=ir               serialize the region-annotated IR (no run)
+//!   -o <file>               output path for --emit=ir (default out.ir)
+//!   --load-ir <file.ir>     load serialized IR instead of compiling
 //!   --stats                 print allocation/GC statistics
 //!   -e <expr>               compile `fun main () = <expr>` instead of a file
 //! ```
+//!
+//! Compile and check errors are rendered as source-located diagnostics
+//! with caret underlines (see `rml_session::Diagnostic`).
 
-use rml::{check, compile, compile_with_basis, execute, ExecOpts, Strategy};
+use rml::{
+    check, check_full, compile, compile_with_basis, emit_ir, execute, load_ir, ExecOpts, Strategy,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: rmlc [--strategy rg|rg-|r] [--baseline] [--no-basis] \
-         [--print-term] [--print-schemes] [--check] [--stats] (<file.rml> | -e <expr>)"
+         [--print-term] [--print-schemes] [--check] [--check-full] \
+         [--emit=ir] [-o <file>] [--stats] \
+         (<file.rml> | -e <expr> | --load-ir <file.ir>)"
     );
     std::process::exit(2)
 }
@@ -30,6 +42,10 @@ fn main() {
     let mut print_term = false;
     let mut print_schemes = false;
     let mut do_check = false;
+    let mut do_check_full = false;
+    let mut emit_ir_flag = false;
+    let mut out_path: Option<String> = None;
+    let mut ir_path: Option<String> = None;
     let mut stats = false;
     let mut file: Option<String> = None;
     let mut expr: Option<String> = None;
@@ -48,29 +64,57 @@ fn main() {
             "--print-term" => print_term = true,
             "--print-schemes" => print_schemes = true,
             "--check" => do_check = true,
+            "--check-full" => do_check_full = true,
+            "--emit=ir" => emit_ir_flag = true,
+            "-o" => out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--load-ir" => ir_path = Some(args.next().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
             "-e" => expr = Some(args.next().unwrap_or_else(|| usage())),
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => usage(),
         }
     }
-    let src = match (file, expr) {
-        (Some(f), None) => std::fs::read_to_string(&f).unwrap_or_else(|e| {
-            eprintln!("rmlc: cannot read {f}: {e}");
+    let (compiled, src_name) = if let Some(p) = ir_path {
+        if file.is_some() || expr.is_some() {
+            usage()
+        }
+        let bytes = std::fs::read(&p).unwrap_or_else(|e| {
+            eprintln!("rmlc: cannot read {p}: {e}");
             std::process::exit(1)
-        }),
-        (None, Some(e)) => format!("fun main () = {e}"),
-        _ => usage(),
-    };
-    let compiled = (if use_basis {
-        compile_with_basis(&src, strategy)
+        });
+        let c = load_ir(&bytes, strategy).unwrap_or_else(|e| {
+            eprintln!("rmlc: cannot load IR from {p}: {e}");
+            std::process::exit(1)
+        });
+        (c, p)
     } else {
-        compile(&src, strategy)
-    })
-    .unwrap_or_else(|e| {
-        eprintln!("rmlc: {e}");
-        std::process::exit(1)
-    });
+        let (src, name) = match (file, expr) {
+            (Some(f), None) => {
+                let src = std::fs::read_to_string(&f).unwrap_or_else(|e| {
+                    eprintln!("rmlc: cannot read {f}: {e}");
+                    std::process::exit(1)
+                });
+                (src, f)
+            }
+            (None, Some(e)) => (format!("fun main () = {e}"), "<expr>".to_string()),
+            _ => usage(),
+        };
+        let full_src = if use_basis {
+            format!("{}\n{}", rml::basis::BASIS, src)
+        } else {
+            src.clone()
+        };
+        let compiled = (if use_basis {
+            compile_with_basis(&src, strategy)
+        } else {
+            compile(&src, strategy)
+        })
+        .unwrap_or_else(|e| {
+            eprint!("{}", e.render(&full_src, &name));
+            std::process::exit(1)
+        });
+        (compiled, name)
+    };
     if print_schemes {
         for (name, scheme) in &compiled.output.schemes {
             println!("{name} : {}", rml_core::pretty::scheme_to_string(scheme));
@@ -90,6 +134,31 @@ fn main() {
                 std::process::exit(1)
             }
         }
+    }
+    if do_check_full {
+        match check_full(&compiled) {
+            Ok(()) => eprintln!("rmlc: full GC-safety check passed"),
+            Err(d) => {
+                eprint!(
+                    "{}",
+                    d.render(&rml::SourceMap::new(&compiled.source), &src_name)
+                );
+                std::process::exit(1)
+            }
+        }
+        if !emit_ir_flag {
+            return; // checking mode: don't run the program
+        }
+    }
+    if emit_ir_flag {
+        let bytes = emit_ir(&compiled);
+        let out = out_path.unwrap_or_else(|| "out.ir".to_string());
+        std::fs::write(&out, &bytes).unwrap_or_else(|e| {
+            eprintln!("rmlc: cannot write {out}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("rmlc: wrote {} bytes of IR to {out}", bytes.len());
+        return;
     }
     let opts = ExecOpts {
         baseline,

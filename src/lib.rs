@@ -34,11 +34,12 @@ pub mod pipeline;
 pub mod programs;
 
 pub use pipeline::{
-    check, compile, compile_count, compile_with_basis, execute, CompileError, CompileTimings,
-    Compiled, ExecOpts,
+    check, check_diag, check_full, compile, compile_count, compile_with_basis, emit_ir, execute,
+    load_ir, CompileError, CompileTimings, Compiled, ExecOpts,
 };
 pub use rml_eval::{RunOutcome, RunValue};
 pub use rml_infer::{SpuriousStyle, Strategy};
+pub use rml_session::{Diagnostic, SourceMap, Span};
 
 /// Runs `f` on a thread with a 64 MiB stack. The recursive passes over
 /// basis-sized terms exceed the default 2 MiB test-thread stack in

@@ -4,6 +4,7 @@
 use rml_eval::{GcPolicy, RunError, RunOpts, RunOutcome};
 use rml_infer::{Options, SpuriousStyle, Strategy};
 use rml_repr::ReprInfo;
+use rml_session::{Diagnostic, SourceMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -36,10 +37,12 @@ pub struct CompileTimings {
 /// A compiled program.
 #[derive(Debug)]
 pub struct Compiled {
-    /// The source, as compiled (including any prepended basis).
+    /// The source, as compiled (including any prepended basis); empty
+    /// when the program was loaded from serialized IR.
     pub source: String,
-    /// The typed AST.
-    pub typed: rml_hm::TProgram,
+    /// The typed AST; `None` when the program was loaded from serialized
+    /// IR (the typed front-end AST is not part of the format).
+    pub typed: Option<rml_hm::TProgram>,
     /// Region inference output (term, exceptions, statistics, schemes).
     pub output: rml_infer::Output,
     /// Representation analyses.
@@ -50,23 +53,44 @@ pub struct Compiled {
     pub timings: CompileTimings,
 }
 
-/// A compilation error from any stage.
+/// A compilation error from any stage, carrying a structured
+/// [`Diagnostic`] (stable code, primary span when the stage knows one).
+///
+/// `Display` remains the stage-prefixed message, so stringly-typed
+/// consumers see what they always saw; renderers call
+/// [`CompileError::render`] for the underlined source excerpt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
-    /// Lexing/parsing.
-    Parse(String),
-    /// Hindley–Milner typing.
-    Type(String),
-    /// Region inference.
-    Region(String),
+    /// Lexing/parsing (`E0001`).
+    Parse(Diagnostic),
+    /// Hindley–Milner typing (`E0002`).
+    Type(Diagnostic),
+    /// Region inference (`E0003`).
+    Region(Diagnostic),
+}
+
+impl CompileError {
+    /// The structured diagnostic behind the error.
+    pub fn diagnostic(&self) -> &Diagnostic {
+        match self {
+            CompileError::Parse(d) | CompileError::Type(d) | CompileError::Region(d) => d,
+        }
+    }
+
+    /// Renders the diagnostic against the source it was produced from
+    /// (the *compiled* source — including the basis when one was
+    /// prepended). `name` labels the buffer (a file name or `<expr>`).
+    pub fn render(&self, src: &str, name: &str) -> String {
+        self.diagnostic().render(&SourceMap::new(src), name)
+    }
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CompileError::Parse(m) => write!(f, "parse error: {m}"),
-            CompileError::Type(m) => write!(f, "{m}"),
-            CompileError::Region(m) => write!(f, "{m}"),
+            CompileError::Parse(d) => write!(f, "parse error: {d}"),
+            CompileError::Type(d) => write!(f, "{d}"),
+            CompileError::Region(d) => write!(f, "{d}"),
         }
     }
 }
@@ -90,14 +114,26 @@ pub fn compile_opts(
     style: SpuriousStyle,
 ) -> Result<Compiled, CompileError> {
     let start = Instant::now();
-    let prog = rml_syntax::parse_program(src).map_err(|e| CompileError::Parse(e.to_string()))?;
+    let prog = rml_syntax::parse_program(src).map_err(|e| {
+        CompileError::Parse(Diagnostic::error("E0001", e.msg.clone()).with_primary(e.span))
+    })?;
     let parse = start.elapsed();
     let t = Instant::now();
-    let typed = rml_hm::infer_program(&prog).map_err(|e| CompileError::Type(e.to_string()))?;
+    let typed = rml_hm::infer_program(&prog).map_err(|e| {
+        let mut d = Diagnostic::error("E0002", format!("type error: {}", e.msg));
+        if let Some(sp) = e.span {
+            d = d.with_primary(sp);
+        }
+        CompileError::Type(d)
+    })?;
     let types = t.elapsed();
     let t = Instant::now();
-    let output = rml_infer::infer(&typed, Options { strategy, style })
-        .map_err(|e| CompileError::Region(e.to_string()))?;
+    let output = rml_infer::infer(&typed, Options { strategy, style }).map_err(|e| {
+        CompileError::Region(Diagnostic::error(
+            "E0003",
+            format!("region inference error: {}", e.0),
+        ))
+    })?;
     let regions = t.elapsed();
     let t = Instant::now();
     let repr = rml_repr::analyze(&output.term);
@@ -105,7 +141,7 @@ pub fn compile_opts(
     COMPILES.fetch_add(1, Ordering::Relaxed);
     Ok(Compiled {
         source: src.to_string(),
-        typed,
+        typed: Some(typed),
         output,
         repr,
         strategy,
@@ -138,11 +174,39 @@ pub fn compile_with_basis(src: &str, strategy: Strategy) -> Result<Compiled, Com
 /// `rg` output this indicates a bug; for `rg-` output on problematic
 /// programs it is the expected detection of the soundness hole.
 pub fn check(c: &Compiled) -> Result<(), String> {
+    check_diag(c).map_err(|d| d.to_string())
+}
+
+/// As [`check`], but returns the structured [`Diagnostic`] (`E0004`): the
+/// checker's blamed binder is resolved through the inference provenance
+/// table to the span of the capturing lambda or `fun` binding, so the
+/// renderer underlines the function the violation occurred in.
+///
+/// # Errors
+///
+/// As [`check`].
+pub fn check_diag(c: &Compiled) -> Result<(), Diagnostic> {
     let gc = match c.strategy {
         Strategy::Rg => rml_core::typing::GcCheck::Full,
         Strategy::RgMinus => rml_core::typing::GcCheck::NoTyVars,
         Strategy::R => rml_core::typing::GcCheck::Off,
     };
+    check_with(c, gc)
+}
+
+/// Validates against the *full* GC-safety conditions regardless of the
+/// compilation strategy. On `rg-` output this is the paper's detector:
+/// the Figure 4 rules with spurious type variables reject exactly the
+/// programs whose collector can meet a dangling pointer (Figures 1/8).
+///
+/// # Errors
+///
+/// The first violated rule, as a source-located [`Diagnostic`].
+pub fn check_full(c: &Compiled) -> Result<(), Diagnostic> {
+    check_with(c, rml_core::typing::GcCheck::Full)
+}
+
+fn check_with(c: &Compiled, gc: rml_core::typing::GcCheck) -> Result<(), Diagnostic> {
     let checker = rml_core::Checker {
         exns: c.output.exns.clone(),
         gc,
@@ -151,6 +215,60 @@ pub fn check(c: &Compiled) -> Result<(), String> {
     checker
         .check(&rml_core::TypeEnv::default(), &c.output.term)
         .map(|_| ())
+        .map_err(|e| {
+            let mut d = Diagnostic::error("E0004", e.msg.clone());
+            if let Some(x) = e.blame {
+                d = d.with_note(format!("while checking the function bound by `{x}`"));
+                if let Some(sp) = c.output.provenance.get(&x) {
+                    d = d.with_primary(*sp);
+                }
+            }
+            d
+        })
+}
+
+/// Serializes a compiled program's region-annotated IR (see
+/// [`rml_core::ir`] for the format and its versioning rules).
+pub fn emit_ir(c: &Compiled) -> Vec<u8> {
+    let prog = rml_core::ir::IrProgram {
+        term: c.output.term.clone(),
+        exns: c.output.exns.clone(),
+        global: c.output.global,
+        schemes: c.output.schemes.clone(),
+    };
+    rml_core::ir::encode_program(&prog)
+}
+
+/// Loads a program back from serialized IR, skipping the front end
+/// entirely: no parsing, typing, or region inference happens (and the
+/// process compile counter is *not* bumped). The representation analyses
+/// are re-derived from the decoded term — they are cheap and not part of
+/// the format. Inference-time artifacts that do not survive serialization
+/// (statistics, store counters, provenance) come back empty.
+///
+/// # Errors
+///
+/// Any [`rml_core::ir::IrError`]: bad magic, version mismatch, truncated
+/// or trailing input, or a corrupt encoding.
+pub fn load_ir(bytes: &[u8], strategy: Strategy) -> Result<Compiled, rml_core::ir::IrError> {
+    let prog = rml_core::ir::decode_program(bytes)?;
+    let repr = rml_repr::analyze(&prog.term);
+    Ok(Compiled {
+        source: String::new(),
+        typed: None,
+        output: rml_infer::Output {
+            term: prog.term,
+            exns: prog.exns,
+            global: prog.global,
+            stats: rml_infer::Stats::default(),
+            store_stats: Default::default(),
+            schemes: prog.schemes,
+            provenance: Default::default(),
+        },
+        repr,
+        strategy,
+        timings: CompileTimings::default(),
+    })
 }
 
 /// Execution options.

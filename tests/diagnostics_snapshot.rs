@@ -1,0 +1,98 @@
+//! Snapshot tests for rendered diagnostics.
+//!
+//! The paper's Figure 1 and Figure 8 programs, compiled under `rg-`
+//! (spurious type variables ignored), fail the full GC-safety check; the
+//! diagnostic must pinpoint the *capturing lambda* — `fn a => f (g a)`
+//! inside `compose`, whose closure captures `f` at a spurious type — with
+//! a caret underline on the source, and name the blamed binder.
+//!
+//! The expected strings are exact snapshots: a rendering change (gutter
+//! layout, code, note text) must be reviewed here, not silently absorbed.
+
+use rml::{check_full, compile, SourceMap, Strategy};
+
+/// The paper's Figure 1, formatted one declaration per line so the
+/// snapshot's line numbers are meaningful.
+const FIGURE1: &str = "\
+fun compose (f, g) = fn a => f (g a)
+fun run () =
+  let val h = compose (let val x = \"oh\" ^ \"no\" in (fn y => (), fn () => x) end)
+      val u = forcegc ()
+  in h () end
+fun main () = run ()
+";
+
+/// The paper's Figure 8: `g`'s `'a` is spurious only transitively.
+const FIGURE8: &str = "\
+fun compose (f, g) = fn a => f (g a)
+fun g (f : unit -> 'a) : unit -> unit =
+  compose (let val x = f () in (fn x => (), fn () => x) end)
+val h = g (fn () => \"oh\" ^ \"no\")
+fun main () = h ()
+";
+
+fn rendered_failure(src: &'static str, name: &str) -> String {
+    let c = compile(src, Strategy::RgMinus).expect("rg- compilation succeeds");
+    let d = check_full(&c).expect_err("rg- output must fail the full GC-safety check");
+    assert_eq!(d.code, "E0004");
+    assert!(
+        !d.primary.is_dummy(),
+        "the checker's blame must resolve to a source span"
+    );
+    d.render(&SourceMap::new(src), name)
+}
+
+#[test]
+fn figure1_rgminus_diagnostic_snapshot() {
+    let got = rml::run_with_big_stack(|| rendered_failure(FIGURE1, "<fig1>"));
+    let want = "\
+error[E0004]: G: captured variable `f` has a type not contained in frev(π) — its regions could dangle (this is the paper's soundness condition)
+  --> <fig1>:1:22
+  |
+1 | fun compose (f, g) = fn a => f (g a)
+  |                      ^^^^^^^^^^^^^^^
+  = note: while checking the function bound by `a`
+";
+    assert_eq!(got, want, "rendered:\n{got}");
+}
+
+#[test]
+fn figure8_rgminus_diagnostic_snapshot() {
+    let got = rml::run_with_big_stack(|| rendered_failure(FIGURE8, "<fig8>"));
+    let want = "\
+error[E0004]: G: captured variable `f` has a type not contained in frev(π) — its regions could dangle (this is the paper's soundness condition)
+  --> <fig8>:1:22
+  |
+1 | fun compose (f, g) = fn a => f (g a)
+  |                      ^^^^^^^^^^^^^^^
+  = note: while checking the function bound by `a`
+";
+    assert_eq!(got, want, "rendered:\n{got}");
+}
+
+#[test]
+fn rg_output_passes_the_full_check() {
+    // The same programs under `rg` are sound: no diagnostic at all.
+    rml::run_with_big_stack(|| {
+        for src in [FIGURE1, FIGURE8] {
+            let c = compile(src, Strategy::Rg).expect("rg compilation succeeds");
+            check_full(&c).expect("rg output passes the full GC-safety check");
+        }
+    });
+}
+
+#[test]
+fn parse_and_type_errors_carry_spans() {
+    // E0001 with the offending token underlined.
+    let err = compile("fun main () = (1 +", Strategy::Rg).unwrap_err();
+    let d = err.diagnostic();
+    assert_eq!(d.code, "E0001");
+    // E0002 with the smallest enclosing expression underlined.
+    let src = "fun main () = 1 + \"two\"";
+    let err = compile(src, Strategy::Rg).unwrap_err();
+    let d = err.diagnostic();
+    assert_eq!(d.code, "E0002");
+    assert!(!d.primary.is_dummy(), "type errors must carry a span");
+    let r = d.render(&SourceMap::new(src), "<e>");
+    assert!(r.contains("-->"), "rendered without location:\n{r}");
+}
