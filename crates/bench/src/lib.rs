@@ -48,6 +48,15 @@ pub struct Measurement {
     pub peak_bytes: u64,
     /// Reference-tracing collections (the paper's `gc #`).
     pub gc_count: u64,
+    /// Collections forced by a stress schedule (torture rig; 0 under the
+    /// default heuristic policy).
+    pub forced_gcs: u64,
+    /// Heap-invariant verifier walks performed (torture rig).
+    pub verify_walks: u64,
+    /// Injected faults the machine survived: probes that unwound with a
+    /// structured error and left the next clean run unaffected (torture
+    /// rig; only the `rg+torture` measurement probes).
+    pub faults_survived: u64,
     /// Whether the run crashed (dangling pointer under `rg-`).
     pub crashed: bool,
 }
@@ -67,7 +76,11 @@ pub struct Row {
     pub diff: bool,
     /// Total wall-clock compilation time across the three strategies.
     pub compile_time: Duration,
-    /// Measurements for rg, rg-, r, baseline (in that order).
+    /// Measurements for rg, rg-, r, baseline, rg+torture (in that
+    /// order). The last is the robustness measurement: `rg` under a
+    /// stress schedule with heap verification, plus fault-injection
+    /// probes — its overhead relative to the plain `rg` column is the
+    /// torture rig's cost, visible in the perf trajectory.
     pub runs: Vec<Measurement>,
 }
 
@@ -283,12 +296,23 @@ pub fn measure_compiled(
         baseline,
         ..ExecOpts::default()
     };
+    measure_compiled_opts(c, &opts, label, repeats)
+}
+
+/// As [`measure_compiled`], but under explicit execution options (the
+/// torture measurement runs stress schedules through this).
+pub fn measure_compiled_opts(
+    c: &rml::Compiled,
+    opts: &ExecOpts,
+    label: &'static str,
+    repeats: usize,
+) -> Measurement {
     let mut best = Duration::MAX;
     let mut last = None;
     let mut crashed = false;
     for _ in 0..repeats.max(1) {
         let t0 = Instant::now();
-        match execute(c, &opts) {
+        match execute(c, opts) {
             Ok(out) => {
                 best = best.min(t0.elapsed());
                 last = Some(out);
@@ -307,6 +331,9 @@ pub fn measure_compiled(
             alloc_bytes: out.stats.bytes_allocated,
             peak_bytes: out.stats.peak_bytes(),
             gc_count: out.stats.gc_count,
+            forced_gcs: out.stats.forced_gcs,
+            verify_walks: out.stats.verify_walks,
+            faults_survived: 0,
             crashed: false,
         },
         _ => Measurement {
@@ -316,9 +343,59 @@ pub fn measure_compiled(
             alloc_bytes: 0,
             peak_bytes: 0,
             gc_count: 0,
+            forced_gcs: 0,
+            verify_walks: 0,
+            faults_survived: 0,
             crashed: true,
         },
     }
+}
+
+/// PRNG seed for the torture measurement's stress schedule; fixed so the
+/// robustness columns of `BENCH_figure9.json` are deterministic.
+pub const TORTURE_SEED: u64 = 0x7041_10E5;
+
+/// The robustness measurement of a row: the `rg` compilation under a
+/// stress schedule (forced collection every 64 steps) with the heap
+/// verifier walking after every collection, plus two fault-injection
+/// probes (allocation budget, continuation-depth limit). The probes
+/// count as *survived* when the limited run either completes or unwinds
+/// with the matching structured error — a panic or an unrelated error
+/// marks the measurement crashed.
+pub fn measure_torture(set: &CompiledSet, repeats: usize) -> Measurement {
+    use rml_eval::{GcPolicy, RunError, VerifyLevel};
+    let opts = ExecOpts {
+        gc: Some(GcPolicy::stress_every(64, TORTURE_SEED)),
+        verify: Some(VerifyLevel::AfterGc),
+        ..ExecOpts::default()
+    };
+    let mut m = measure_compiled_opts(&set.rg, &opts, "rg+torture", repeats);
+    type FaultMatcher = fn(&rml_eval::RunError) -> bool;
+    let probes: [(ExecOpts, FaultMatcher); 2] = [
+        (
+            ExecOpts {
+                alloc_budget: Some(1),
+                ..ExecOpts::default()
+            },
+            |e| matches!(e, RunError::OutOfMemory { .. }),
+        ),
+        (
+            ExecOpts {
+                depth_limit: Some(2),
+                ..ExecOpts::default()
+            },
+            |e| matches!(e, RunError::DepthLimit { .. }),
+        ),
+    ];
+    for (eo, expect) in probes {
+        match execute(&set.rg, &eo) {
+            // Limit not reached: nothing to survive, still structural.
+            Ok(_) => m.faults_survived += 1,
+            Err(e) if expect(&e) => m.faults_survived += 1,
+            Err(_) => m.crashed = true,
+        }
+    }
+    m
 }
 
 /// Runs one program under one strategy, best-of-`repeats`, compiling it
@@ -454,6 +531,7 @@ pub fn row_with(p: &Program, set: &CompiledSet, repeats: usize) -> Row {
             measure_compiled(&set.rgm, false, "rg-", repeats),
             measure_compiled(&set.r, false, "r", repeats),
             measure_compiled(&set.rg, true, "baseline", repeats),
+            measure_torture(set, repeats),
         ],
     }
 }
@@ -508,6 +586,50 @@ pub fn figure9_cached(repeats: usize, cache: Option<&Path>) -> Vec<Row> {
                     *slots[i].lock().expect("slot poisoned") = Some(row);
                 })
                 .expect("spawn figure9 worker");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("every claimed slot is filled before workers exit")
+        })
+        .collect()
+}
+
+/// Runs the differential torture oracle over the whole suite: every
+/// program, every strategy, every GC schedule (see [`rml::torture`]),
+/// compiled through the same disk cache as [`figure9_cached`] and spread
+/// over the same work-stealing worker pool. Reports come back in suite
+/// order.
+pub fn differential(
+    opts: &rml::torture::TortureOpts,
+    cache: Option<&Path>,
+) -> Vec<rml::torture::Report> {
+    let progs = rml::programs::suite();
+    let _ = basis_stats();
+    let n = progs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<rml::torture::Report>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            std::thread::Builder::new()
+                .stack_size(64 * 1024 * 1024)
+                .spawn_scoped(s, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(p) = progs.get(i) else { break };
+                    let set = compile_set_cached(p, cache);
+                    let rep =
+                        rml::torture::torture_compiled(p.name, &set.rg, &set.rgm, &set.r, opts);
+                    *slots[i].lock().expect("slot poisoned") = Some(rep);
+                })
+                .expect("spawn differential worker");
         }
     });
     slots
@@ -611,13 +733,18 @@ pub fn to_json(rows: &[Row]) -> String {
             let _ = write!(
                 s,
                 "{{\"label\": \"{}\", \"time_ms\": {:.3}, \"steps\": {}, \
-                 \"alloc_bytes\": {}, \"peak_bytes\": {}, \"gc_count\": {}, \"crashed\": {}}}",
+                 \"alloc_bytes\": {}, \"peak_bytes\": {}, \"gc_count\": {}, \
+                 \"forced_gcs\": {}, \"verify_walks\": {}, \"faults_survived\": {}, \
+                 \"crashed\": {}}}",
                 json_escape(m.label),
                 m.time.as_secs_f64() * 1000.0,
                 m.steps,
                 m.alloc_bytes,
                 m.peak_bytes,
                 m.gc_count,
+                m.forced_gcs,
+                m.verify_walks,
+                m.faults_survived,
                 m.crashed,
             );
             if mi + 1 < r.runs.len() {
@@ -661,15 +788,66 @@ mod tests {
         assert_eq!(normalize_vars("xr5_tail"), "xr5_tail");
     }
 
+    /// The differential oracle end-to-end on a tiny program: all 16
+    /// cells, both fault probes, and a clean verdict.
+    #[test]
+    fn differential_oracle_accepts_a_tiny_program() {
+        let p = rml::programs::Program {
+            name: "tiny",
+            source: "fun main () = size (\"a\" ^ \"b\" ^ \"\") + 1",
+            expected: None,
+        };
+        let opts = rml::torture::TortureOpts {
+            fuel: 50_000,
+            with_basis: true,
+            ..Default::default()
+        };
+        let rep = rml::run_with_big_stack(move || {
+            let set = compile_set(&p);
+            rml::torture::torture_compiled(p.name, &set.rg, &set.rgm, &set.r, &opts)
+        });
+        assert!(rep.ok(), "{}", rep.render());
+        assert_eq!(rep.cells.len(), 16);
+        assert_eq!(rep.probes.len(), 2);
+    }
+
+    /// Release-only regression at the oracle level: the `strings` suite
+    /// program exercises empty-string evacuation, which once corrupted
+    /// the regionless baseline heap under stress-every-step (a one-word
+    /// object cannot hold the collector's two-word forwarding marker).
+    /// Too slow in debug — stress-every-step is O(steps × live heap).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn differential_oracle_accepts_the_strings_program() {
+        let opts = rml::torture::TortureOpts {
+            fuel: 30_000,
+            with_basis: true,
+            ..Default::default()
+        };
+        let rep = rml::run_with_big_stack(move || {
+            let p = rml::programs::by_name("strings").unwrap();
+            let set = compile_set(&p);
+            rml::torture::torture_compiled(p.name, &set.rg, &set.rgm, &set.r, &opts)
+        });
+        assert!(rep.ok(), "{}", rep.render());
+    }
+
     #[test]
     fn one_row_has_all_strategies() {
         let r = rml::run_with_big_stack(|| {
             let p = rml::programs::by_name("fib").unwrap();
             row(&p, 1)
         });
-        assert_eq!(r.runs.len(), 4);
+        assert_eq!(r.runs.len(), 5);
         assert!(r.runs.iter().all(|m| !m.crashed));
         assert!(r.loc > 0);
+        // The robustness measurement actually tortured: collections were
+        // forced, the verifier walked, and both fault probes survived.
+        let torture = &r.runs[4];
+        assert_eq!(torture.label, "rg+torture");
+        assert!(torture.forced_gcs > 0);
+        assert!(torture.verify_walks > 0);
+        assert_eq!(torture.faults_survived, 2);
     }
 
     #[test]

@@ -44,7 +44,11 @@ fn row_compiles_each_strategy_exactly_once_body() {
         3,
         "row_with must reuse the set's compilations"
     );
-    assert_eq!(row.runs.len(), 4, "baseline shares the rg compilation");
+    assert_eq!(
+        row.runs.len(),
+        5,
+        "baseline and the torture run share the rg compilation"
+    );
 
     // The disk cache: a cold build compiles and fills the cache, the
     // second build decodes stored IR instead — zero new compilations —

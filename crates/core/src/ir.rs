@@ -114,7 +114,7 @@ pub fn decode_program(bytes: &[u8]) -> DResult<IrProgram> {
         return Err(IrError::Version { found });
     }
     let term = r.term()?;
-    let n = r.u32()?;
+    let n = r.count()?;
     let mut exns = BTreeMap::new();
     for _ in 0..n {
         let name = r.symbol()?;
@@ -122,8 +122,8 @@ pub fn decode_program(bytes: &[u8]) -> DResult<IrProgram> {
         exns.insert(name, arg);
     }
     let global = r.reg()?;
-    let n = r.u32()?;
-    let mut schemes = Vec::with_capacity(n as usize);
+    let n = r.count()?;
+    let mut schemes = Vec::with_capacity(n);
     for _ in 0..n {
         let name = r.symbol()?;
         let s = r.scheme()?;
@@ -569,9 +569,16 @@ impl W {
 // Reader.
 // ---------------------------------------------------------------------
 
+/// Recursion-depth bound for the mutually recursive `term`/`value`/`mu`
+/// readers. Real programs nest a few hundred levels at most (the basis
+/// included); mutated IR bytes can claim arbitrary nesting and must get
+/// a structured error, not a blown Rust stack.
+const MAX_DECODE_DEPTH: usize = 16_384;
+
 struct R<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
     regs: HashMap<u32, RegVar>,
     effs: HashMap<u32, EffVar>,
     tys: HashMap<u32, TyVar>,
@@ -582,10 +589,39 @@ impl<'a> R<'a> {
         R {
             bytes,
             pos: 0,
+            depth: 0,
             regs: HashMap::new(),
             effs: HashMap::new(),
             tys: HashMap::new(),
         }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads an element count, rejecting any count the remaining input
+    /// cannot possibly satisfy (every element consumes at least one
+    /// byte). Such a count is by definition a truncation — the input
+    /// ends before the promised elements — and failing here keeps
+    /// `Vec::with_capacity` from pre-allocating gigabytes on mutated
+    /// bytes.
+    fn count(&mut self) -> DResult<usize> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(IrError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn enter(&mut self) -> DResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DECODE_DEPTH {
+            return Err(IrError::Corrupt(format!(
+                "nesting exceeds the decoder depth limit ({MAX_DECODE_DEPTH})"
+            )));
+        }
+        Ok(())
     }
 
     fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
@@ -678,6 +714,13 @@ impl<'a> R<'a> {
     }
 
     fn mu(&mut self) -> DResult<Mu> {
+        self.enter()?;
+        let m = self.mu_raw();
+        self.depth -= 1;
+        m
+    }
+
+    fn mu_raw(&mut self) -> DResult<Mu> {
         match self.u8()? {
             0 => Ok(Mu::Var(self.ty_var()?)),
             1 => Ok(Mu::Int),
@@ -714,18 +757,18 @@ impl<'a> R<'a> {
     }
 
     fn scheme(&mut self) -> DResult<Scheme> {
-        let n = self.u32()?;
-        let mut rvars = Vec::with_capacity(n as usize);
+        let n = self.count()?;
+        let mut rvars = Vec::with_capacity(n);
         for _ in 0..n {
             rvars.push(self.reg()?);
         }
-        let n = self.u32()?;
-        let mut evars = Vec::with_capacity(n as usize);
+        let n = self.count()?;
+        let mut evars = Vec::with_capacity(n);
         for _ in 0..n {
             evars.push(self.eff_var()?);
         }
-        let n = self.u32()?;
-        let mut delta = Vec::with_capacity(n as usize);
+        let n = self.count()?;
+        let mut delta = Vec::with_capacity(n);
         for _ in 0..n {
             let a = self.ty_var()?;
             let ae = self.arrow_eff()?;
@@ -802,6 +845,13 @@ impl<'a> R<'a> {
     }
 
     fn term(&mut self) -> DResult<Term> {
+        self.enter()?;
+        let t = self.term_raw();
+        self.depth -= 1;
+        t
+    }
+
+    fn term_raw(&mut self) -> DResult<Term> {
         Ok(match self.u8()? {
             0 => Term::Var(self.symbol()?),
             1 => Term::Unit,
@@ -831,13 +881,13 @@ impl<'a> R<'a> {
                 Term::App(a, b)
             }
             8 => {
-                let n = self.u32()?;
-                let mut defs = Vec::with_capacity(n as usize);
+                let n = self.count()?;
+                let mut defs = Vec::with_capacity(n);
                 for _ in 0..n {
                     defs.push(self.fix_def()?);
                 }
-                let n = self.u32()?;
-                let mut ats = Vec::with_capacity(n as usize);
+                let n = self.count()?;
+                let mut ats = Vec::with_capacity(n);
                 for _ in 0..n {
                     ats.push(self.reg()?);
                 }
@@ -864,13 +914,13 @@ impl<'a> R<'a> {
                 Term::Let { x, rhs, body }
             }
             11 => {
-                let n = self.u32()?;
-                let mut rvars = Vec::with_capacity(n as usize);
+                let n = self.count()?;
+                let mut rvars = Vec::with_capacity(n);
                 for _ in 0..n {
                     rvars.push(self.reg()?);
                 }
-                let n = self.u32()?;
-                let mut evars = Vec::with_capacity(n as usize);
+                let n = self.count()?;
+                let mut evars = Vec::with_capacity(n);
                 for _ in 0..n {
                     evars.push(self.eff_var()?);
                 }
@@ -896,8 +946,8 @@ impl<'a> R<'a> {
             }
             15 => {
                 let op = self.prim_op()?;
-                let n = self.u32()?;
-                let mut args = Vec::with_capacity(n as usize);
+                let n = self.count()?;
+                let mut args = Vec::with_capacity(n);
                 for _ in 0..n {
                     args.push(self.term()?);
                 }
@@ -964,6 +1014,13 @@ impl<'a> R<'a> {
     }
 
     fn value(&mut self) -> DResult<Value> {
+        self.enter()?;
+        let v = self.value_raw();
+        self.depth -= 1;
+        v
+    }
+
+    fn value_raw(&mut self) -> DResult<Value> {
         Ok(match self.u8()? {
             0 => Value::Int(self.i64()?),
             1 => Value::Bool(self.bool()?),
@@ -999,13 +1056,13 @@ impl<'a> R<'a> {
                 }
             }
             8 => {
-                let n = self.u32()?;
-                let mut defs = Vec::with_capacity(n as usize);
+                let n = self.count()?;
+                let mut defs = Vec::with_capacity(n);
                 for _ in 0..n {
                     defs.push(self.fix_def()?);
                 }
-                let n = self.u32()?;
-                let mut ats = Vec::with_capacity(n as usize);
+                let n = self.count()?;
+                let mut ats = Vec::with_capacity(n);
                 for _ in 0..n {
                     ats.push(self.reg()?);
                 }

@@ -53,8 +53,20 @@ impl std::fmt::Display for RunValue {
     }
 }
 
+/// Structures nested deeper than this decode to [`RunValue::Opaque`]:
+/// protects against cyclic reference graphs (a `ref` that reaches itself)
+/// and pathological nesting blowing the Rust stack.
+const MAX_DEPTH: usize = 512;
+
 /// Decodes a word (deeply) against the heap.
 pub fn decode(heap: &Heap, w: Word) -> RunValue {
+    decode_at(heap, w, 0)
+}
+
+fn decode_at(heap: &Heap, w: Word, depth: usize) -> RunValue {
+    if depth > MAX_DEPTH {
+        return RunValue::Opaque;
+    }
     if w.is_int() {
         return RunValue::Int(w.as_int());
     }
@@ -76,8 +88,12 @@ pub fn decode(heap: &Heap, w: Word) -> RunValue {
             .map(RunValue::Str)
             .unwrap_or(RunValue::Opaque),
         ObjKind::Pair => {
-            let a = heap.field(w, 0, "decode").map(|x| decode(heap, x));
-            let b = heap.field(w, 1, "decode").map(|x| decode(heap, x));
+            let a = heap
+                .field(w, 0, "decode")
+                .map(|x| decode_at(heap, x, depth + 1));
+            let b = heap
+                .field(w, 1, "decode")
+                .map(|x| decode_at(heap, x, depth + 1));
             match (a, b) {
                 (Ok(a), Ok(b)) => RunValue::Pair(Box::new(a), Box::new(b)),
                 _ => RunValue::Opaque,
@@ -90,10 +106,15 @@ pub fn decode(heap: &Heap, w: Word) -> RunValue {
                 if cur == Word::NIL {
                     return RunValue::List(items);
                 }
+                // A cyclic spine (made with `ref` tricks) must terminate
+                // too, not just deep element nesting.
+                if items.len() > (1 << 24) {
+                    return RunValue::Opaque;
+                }
                 let Ok(h) = heap.field(cur, 0, "decode") else {
                     return RunValue::Opaque;
                 };
-                items.push(decode(heap, h));
+                items.push(decode_at(heap, h, depth + 1));
                 match heap.field(cur, 1, "decode") {
                     Ok(t) => cur = t,
                     Err(_) => return RunValue::Opaque,
@@ -102,15 +123,19 @@ pub fn decode(heap: &Heap, w: Word) -> RunValue {
         }
         ObjKind::Ref => heap
             .field(w, 0, "decode")
-            .map(|x| RunValue::Ref(Box::new(decode(heap, x))))
+            .map(|x| RunValue::Ref(Box::new(decode_at(heap, x, depth + 1))))
             .unwrap_or(RunValue::Opaque),
         ObjKind::Closure => RunValue::Closure,
         ObjKind::Exn => {
+            // The name index is a raw heap word: resolve it fallibly so a
+            // corrupted heap decodes to something printable, not a panic.
             let name = heap
                 .field(w, 0, "decode")
-                .map(|x| rml_syntax::Symbol::from_index(x.0 as u32).to_string())
-                .unwrap_or_default();
-            RunValue::Exn(name)
+                .ok()
+                .and_then(|x| u32::try_from(x.0).ok())
+                .and_then(rml_syntax::Symbol::lookup_index)
+                .unwrap_or("<unknown>");
+            RunValue::Exn(name.to_string())
         }
         ObjKind::Forward => RunValue::Opaque,
     }

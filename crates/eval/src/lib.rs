@@ -29,9 +29,14 @@
 //! assert_eq!(res.value, RunValue::Int(42));
 //! ```
 
+// The torture rig's subject: library code here must surface failures as
+// structured errors, never via panicking escape hatches. Test modules
+// (compiled only under `cfg(test)`) are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod code;
 mod decode;
 mod machine;
 
 pub use decode::RunValue;
-pub use machine::{run, GcPolicy, RunError, RunOpts, RunOutcome};
+pub use machine::{run, GcPolicy, RunError, RunOpts, RunOutcome, StressSchedule, VerifyLevel};

@@ -68,6 +68,26 @@ fn renv_lookup(renv: &REnv, var: RegVar) -> Option<RegionId> {
     None
 }
 
+/// A deterministic adversarial collection schedule (the torture rig).
+///
+/// All scheduling decisions derive from the machine step counter, the
+/// allocation counter, and a [`Xorshift64`] stream seeded from `seed` —
+/// never from ambient randomness — so the same seed always produces the
+/// same schedule and therefore the same run outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressSchedule {
+    /// Force a collection every `period` machine steps (0 disables the
+    /// step trigger; 1 collects at *every* step).
+    pub period: u64,
+    /// Force a collection after every allocation.
+    pub every_alloc: bool,
+    /// Seed for the minor/major interleaving stream.
+    pub seed: u64,
+    /// Interleave minor (young-generation) and major collections,
+    /// chosen by the seeded PRNG.
+    pub generational: bool,
+}
+
 /// Collection policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GcPolicy {
@@ -83,6 +103,10 @@ pub enum GcPolicy {
         /// Use the generational (minor/major) scheme.
         generational: bool,
     },
+    /// Adversarial deterministic schedule (collect far more often than
+    /// any heuristic would, to surface latent dangling pointers at the
+    /// earliest step that makes them reachable).
+    Stress(StressSchedule),
 }
 
 impl GcPolicy {
@@ -94,6 +118,60 @@ impl GcPolicy {
             generational: false,
         }
     }
+
+    /// Collect every `period` steps (deterministic; no PRNG involvement
+    /// unless combined with [`StressSchedule::generational`]).
+    pub fn stress_every(period: u64, seed: u64) -> GcPolicy {
+        GcPolicy::Stress(StressSchedule {
+            period,
+            every_alloc: false,
+            seed,
+            generational: false,
+        })
+    }
+
+    /// Collect at every machine step *and* after every allocation — the
+    /// most adversarial schedule.
+    pub fn stress_every_step(seed: u64) -> GcPolicy {
+        GcPolicy::Stress(StressSchedule {
+            period: 1,
+            every_alloc: true,
+            seed,
+            generational: false,
+        })
+    }
+
+    /// Like [`GcPolicy::stress_every`], but randomly (seeded) interleaves
+    /// minor and major collections.
+    pub fn stress_generational(period: u64, seed: u64) -> GcPolicy {
+        GcPolicy::Stress(StressSchedule {
+            period,
+            every_alloc: false,
+            seed,
+            generational: true,
+        })
+    }
+
+    /// Does the policy run the heap in generational mode?
+    pub fn generational(&self) -> bool {
+        match self {
+            GcPolicy::Off => false,
+            GcPolicy::On { generational, .. } => *generational,
+            GcPolicy::Stress(s) => s.generational,
+        }
+    }
+}
+
+/// When the heap-invariant verifier walks the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// Never (production runs).
+    #[default]
+    Off,
+    /// After every successful collection.
+    AfterGc,
+    /// After every machine step (torture runs; very slow).
+    EveryStep,
 }
 
 /// Run options.
@@ -114,6 +192,17 @@ pub struct RunOpts {
     pub baseline: bool,
     /// Step limit.
     pub fuel: u64,
+    /// Fault injection: fail with [`RunError::OutOfMemory`] once this many
+    /// objects have been allocated.
+    pub alloc_budget: Option<u64>,
+    /// Fault injection: fail with [`RunError::DepthLimit`] when the
+    /// continuation stack exceeds this many frames.
+    pub depth_limit: Option<usize>,
+    /// Heap-invariant verification cadence.
+    pub verify: VerifyLevel,
+    /// Static multiplicity bounds for finite region variables (from
+    /// `rml-repr`); enforced by the heap verifier.
+    pub finite_bounds: std::collections::HashMap<RegVar, u64>,
 }
 
 impl RunOpts {
@@ -126,6 +215,10 @@ impl RunOpts {
             uniform: Default::default(),
             baseline: false,
             fuel: u64::MAX,
+            alloc_budget: None,
+            depth_limit: None,
+            verify: VerifyLevel::Off,
+            finite_bounds: Default::default(),
         }
     }
 
@@ -150,6 +243,19 @@ pub enum RunError {
     OutOfFuel,
     /// Division by zero.
     DivByZero,
+    /// Injected allocation budget exhausted (torture rig).
+    OutOfMemory {
+        /// Objects allocated when the budget tripped.
+        allocs: u64,
+    },
+    /// Injected continuation-depth limit exceeded (torture rig).
+    DepthLimit {
+        /// Continuation frames when the limit tripped.
+        depth: usize,
+    },
+    /// Heap invariant violated or heap corrupted — a runtime bug, located
+    /// by the verifier or the collector.
+    Invariant(String),
     /// Ill-formed program reached the machine (upstream bug).
     Stuck(String),
 }
@@ -161,12 +267,51 @@ impl std::fmt::Display for RunError {
             RunError::Uncaught(n) => write!(f, "uncaught exception {n}"),
             RunError::OutOfFuel => write!(f, "out of fuel"),
             RunError::DivByZero => write!(f, "division by zero"),
+            RunError::OutOfMemory { allocs } => {
+                write!(
+                    f,
+                    "out of memory: allocation budget exhausted after {allocs} objects"
+                )
+            }
+            RunError::DepthLimit { depth } => {
+                write!(f, "continuation depth limit exceeded at {depth} frames")
+            }
+            RunError::Invariant(m) => write!(f, "heap invariant violated: {m}"),
             RunError::Stuck(m) => write!(f, "stuck: {m}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+impl RunError {
+    /// Converts the error into a structured `E0005` (runtime fault)
+    /// diagnostic, so runtime failures render through the same path as
+    /// compile-time errors.
+    pub fn to_diagnostic(&self) -> rml_session::Diagnostic {
+        let d = rml_session::Diagnostic::error("E0005", format!("runtime fault: {self}"));
+        match self {
+            RunError::Dangling(_) => d.with_note(
+                "a dangling region pointer was dereferenced or traced; under \
+                 strategy `rg` this would be a soundness bug — under `rg-` or \
+                 `r` it is the unsoundness the paper's type system rules out",
+            ),
+            RunError::OutOfMemory { .. } => d.with_note(
+                "injected allocation budget (torture rig); the machine unwound \
+                 cleanly and can be re-run from a fresh heap",
+            ),
+            RunError::DepthLimit { .. } => d.with_note(
+                "injected continuation-depth limit (torture rig); the machine \
+                 unwound cleanly and can be re-run from a fresh heap",
+            ),
+            RunError::Invariant(_) => {
+                d.with_note("this indicates a bug in the runtime, not in the program")
+            }
+            RunError::OutOfFuel => d.with_note("step budget exhausted (set by --fuel)"),
+            _ => d,
+        }
+    }
+}
 
 /// The result of a run.
 #[derive(Debug)]
@@ -298,6 +443,12 @@ struct Machine<'a> {
     global_region: RegionId,
     gc_pending: bool,
     collections_since_major: u32,
+    /// Seeded PRNG driving minor/major interleaving under stress
+    /// schedules; the only source of "randomness" in the machine.
+    rng: rml_runtime::Xorshift64,
+    /// Allocation count at the last stress check (for the
+    /// collect-after-every-allocation trigger).
+    last_alloc_objects: u64,
 }
 
 type MResult<T> = Result<T, RunError>;
@@ -311,10 +462,12 @@ type MResult<T> = Result<T, RunError>;
 pub fn run(term: &Term, opts: &RunOpts) -> Result<RunOutcome, RunError> {
     let code = CodeTable::build(term);
     let mut heap = Heap::new();
-    if let GcPolicy::On { generational, .. } = opts.gc {
-        heap.generational = generational;
-    }
+    heap.generational = opts.gc.generational();
     let global_region = heap.create_region(RegionKind::Infinite);
+    let seed = match opts.gc {
+        GcPolicy::Stress(s) => s.seed,
+        _ => 0,
+    };
     let mut m = Machine {
         heap,
         code,
@@ -325,6 +478,8 @@ pub fn run(term: &Term, opts: &RunOpts) -> Result<RunOutcome, RunError> {
         global_region,
         gc_pending: false,
         collections_since_major: 0,
+        rng: rml_runtime::Xorshift64::new(seed),
+        last_alloc_objects: 0,
     };
     let mut renv = renv_bind(&None, opts.global, global_region);
     // Residual free region variables of the program (e.g. regions of the
@@ -355,7 +510,9 @@ impl<'a> Machine<'a> {
     }
 
     fn dangling<T>(&self, e: rml_runtime::heap::DanglingAccess) -> MResult<T> {
-        Err(RunError::Dangling(e.to_string()))
+        // The step stamp makes the determinism contract checkable: the
+        // same seed must reproduce the same failure at the same step.
+        Err(RunError::Dangling(format!("{e} at step {}", self.steps)))
     }
 
     fn field(&self, w: Word, i: usize, ctx: &'static str) -> MResult<Word> {
@@ -369,6 +526,7 @@ impl<'a> Machine<'a> {
             if self.steps > self.opts.fuel {
                 return Err(RunError::OutOfFuel);
             }
+            self.check_faults()?;
             self.maybe_collect(&ctrl)?;
             ctrl = match ctrl {
                 Ctrl::Eval(e, env, renv) => self.eval(e, env, renv)?,
@@ -380,27 +538,73 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn maybe_collect(&mut self, ctrl: &Ctrl<'a>) -> MResult<()> {
-        let (min_bytes, ratio, generational) = match self.opts.gc {
-            GcPolicy::Off => return Ok(()),
+    /// Injected faults: the allocation budget and the continuation-depth
+    /// limit. Both unwind into structured errors (counted in the heap
+    /// stats) rather than panicking, and leave the machine state
+    /// consistent — a fresh `run` on the same program behaves as if the
+    /// faulted run never happened.
+    fn check_faults(&mut self) -> MResult<()> {
+        if let Some(budget) = self.opts.alloc_budget {
+            let allocs = self.heap.stats.objects_allocated;
+            if allocs >= budget {
+                self.heap.stats.faults_injected += 1;
+                return Err(RunError::OutOfMemory { allocs });
+            }
+        }
+        if let Some(limit) = self.opts.depth_limit {
+            let depth = self.kont.len();
+            if depth > limit {
+                self.heap.stats.faults_injected += 1;
+                return Err(RunError::DepthLimit { depth });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decides whether (and how) to collect this step. Returns
+    /// `(minor, forced)` when a collection is due; `forced` marks
+    /// collections demanded by a stress schedule or `forcegc` rather than
+    /// the allocation heuristic.
+    fn gc_decision(&mut self) -> Option<(bool, bool)> {
+        match self.opts.gc {
+            GcPolicy::Off => None,
             GcPolicy::On {
                 min_bytes,
                 ratio,
                 generational,
-            } => (min_bytes, ratio, generational),
-        };
-        if !self.gc_pending && !self.heap.should_collect(min_bytes, ratio) {
-            return Ok(());
+            } => {
+                let forced = self.gc_pending;
+                if !forced && !self.heap.should_collect(min_bytes, ratio) {
+                    return None;
+                }
+                let minor = generational && self.collections_since_major < 4;
+                if minor {
+                    self.collections_since_major += 1;
+                } else {
+                    self.collections_since_major = 0;
+                }
+                Some((minor, forced))
+            }
+            GcPolicy::Stress(s) => {
+                let allocs = self.heap.stats.objects_allocated;
+                let alloc_trigger = s.every_alloc && allocs > self.last_alloc_objects;
+                self.last_alloc_objects = allocs;
+                let step_trigger = s.period > 0 && self.steps.is_multiple_of(s.period);
+                if !self.gc_pending && !alloc_trigger && !step_trigger {
+                    return None;
+                }
+                // Minor three steps out of four, decided by the seeded
+                // stream — deterministic for a given seed.
+                let minor = s.generational && self.rng.chance(3, 4);
+                Some((minor, true))
+            }
         }
-        self.gc_pending = false;
-        let minor = generational && self.collections_since_major < 4;
-        if minor {
-            self.collections_since_major += 1;
-        } else {
-            self.collections_since_major = 0;
-        }
-        // Gather roots: the control value, frame cells, environment
-        // chains.
+    }
+
+    /// Gathers the machine's root set: the control value, frame cells,
+    /// and environment chains. The returned cells stay valid while `ctrl`
+    /// and `self.kont` are untouched.
+    fn gather_roots(&self, ctrl: &Ctrl<'a>) -> Vec<*const Cell<u64>> {
         let mut cells: Vec<*const Cell<u64>> = Vec::new();
         let mut visited: HashSet<*const EnvNode> = HashSet::new();
         let mut envs: Vec<&Env> = Vec::new();
@@ -444,21 +648,56 @@ impl<'a> Machine<'a> {
                 }
             }
         }
+        cells
+    }
+
+    fn maybe_collect(&mut self, ctrl: &Ctrl<'a>) -> MResult<()> {
+        let decision = self.gc_decision();
+        let verify_now = match self.opts.verify {
+            VerifyLevel::Off => false,
+            VerifyLevel::AfterGc => decision.is_some(),
+            VerifyLevel::EveryStep => true,
+        };
+        if decision.is_none() && !verify_now {
+            return Ok(());
+        }
+        let cells = self.gather_roots(ctrl);
         // Two-phase: read all roots, collect, write back.
         let mut roots: Vec<Word> = cells.iter().map(|c| Word(unsafe { &**c }.get())).collect();
-        match self.heap.collect(&mut roots, minor) {
-            Ok(()) => {}
-            Err(GcError::DanglingPointer { context }) => {
-                return Err(RunError::Dangling(format!(
-                    "garbage collector traced a pointer into a deallocated region ({context})"
-                )))
+        if let Some((minor, forced)) = decision {
+            self.gc_pending = false;
+            if forced {
+                self.heap.stats.forced_gcs += 1;
             }
-            Err(GcError::Corrupt) => {
-                return Err(RunError::Stuck("heap corruption during collection".into()))
+            match self.heap.collect(&mut roots, minor) {
+                Ok(()) => {}
+                Err(GcError::DanglingPointer { context }) => {
+                    return Err(RunError::Dangling(format!(
+                        "garbage collector traced a pointer into a deallocated \
+                         region ({context}) at step {}",
+                        self.steps
+                    )))
+                }
+                Err(e @ GcError::Corrupt { .. }) => return Err(RunError::Invariant(e.to_string())),
+            }
+            for (c, w) in cells.iter().zip(&roots) {
+                unsafe { &**c }.set(w.0);
             }
         }
-        for (c, w) in cells.iter().zip(&roots) {
-            unsafe { &**c }.set(w.0);
+        if verify_now {
+            match self.heap.verify(&roots) {
+                Ok(_) => {}
+                // A dangling reachable pointer found by the verifier is
+                // the same GC-safety failure a collector trace would hit;
+                // report it as such (the torture oracle relies on this).
+                Err(e) if e.is_dangling() => {
+                    return Err(RunError::Dangling(format!(
+                        "{e} (heap verifier, step {})",
+                        self.steps
+                    )))
+                }
+                Err(e) => return Err(RunError::Invariant(e.to_string())),
+            }
         }
         Ok(())
     }
@@ -557,6 +796,9 @@ impl<'a> Machine<'a> {
                     };
                     let uniform = self.opts.uniform.get(rv).copied();
                     let r = self.heap.create_region_uniform(kind, uniform);
+                    if let Some(b) = self.opts.finite_bounds.get(rv) {
+                        self.heap.set_region_bound(r, *b);
+                    }
                     regions.push(r);
                     renv2 = renv_bind(&renv2, *rv, r);
                 }
@@ -815,7 +1057,11 @@ impl<'a> Machine<'a> {
         renv: &REnv,
     ) -> MResult<Word> {
         let id = self.field(clos, 0, "region application")?.0 as usize;
-        let entry = &self.code.entries[id];
+        let entry = self
+            .code
+            .entries
+            .get(id)
+            .ok_or_else(|| RunError::Stuck("bad code id".into()))?;
         let rparams = entry.rparams.clone();
         let frvs_len = entry.frvs.len();
         let nsib = entry.group.as_ref().map(|g| g.members.len()).unwrap_or(0);
@@ -1020,7 +1266,10 @@ impl<'a> Machine<'a> {
                 _ => {}
             }
         }
-        Err(RunError::Uncaught(name.to_string()))
+        let printable = Symbol::lookup_index(name_idx)
+            .unwrap_or("<unknown exception>")
+            .to_string();
+        Err(RunError::Uncaught(printable))
     }
 
     fn apply_prim(

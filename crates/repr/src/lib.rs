@@ -29,7 +29,7 @@ pub mod stats;
 pub mod uniform;
 
 pub use drop_regions::droppable_params;
-pub use multiplicity::finite_regions;
+pub use multiplicity::{finite_bounds, finite_regions};
 pub use stats::{alloc_stats, AllocStats};
 pub use uniform::{uniform_regions, HomoKind};
 
@@ -42,6 +42,9 @@ use std::collections::{BTreeMap, HashSet};
 pub struct ReprInfo {
     /// Letregion-bound regions proven finite.
     pub finite: HashSet<RegVar>,
+    /// Static multiplicity bounds for the finite regions (objects per
+    /// lifetime); enforced by the heap verifier in torture runs.
+    pub bounds: std::collections::HashMap<RegVar, u64>,
     /// Letregion-bound regions considered infinite.
     pub infinite: HashSet<RegVar>,
     /// Per-function droppable region parameters: name → (droppable, total).
@@ -56,6 +59,7 @@ pub struct ReprInfo {
 pub fn analyze(term: &Term) -> ReprInfo {
     let (finite, infinite) = finite_regions(term);
     ReprInfo {
+        bounds: finite_bounds(term),
         finite,
         infinite,
         uniform: uniform_regions(term),

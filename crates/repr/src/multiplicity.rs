@@ -15,7 +15,7 @@
 
 use rml_core::terms::Term;
 use rml_core::vars::RegVar;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Classifies all `letregion`-bound regions of a program. Returns
 /// `(finite, infinite)`.
@@ -47,6 +47,33 @@ pub fn finite_regions(term: &Term) -> (HashSet<RegVar>, HashSet<RegVar>) {
     (finite, infinite)
 }
 
+/// Static multiplicity bounds for the finite regions of a program: each
+/// finite region holds at most as many objects as it has (depth-0)
+/// allocation sites, since every site executes at most once per lifetime.
+/// The heap verifier enforces these bounds at run time (torture rig).
+///
+/// A site appearing in both arms of an `if` counts twice, so the bound is
+/// an upper bound, never an undercount.
+pub fn finite_bounds(term: &Term) -> HashMap<RegVar, u64> {
+    let (finite, _) = finite_regions(term);
+    let mut bounds: HashMap<RegVar, u64> = HashMap::new();
+    walk(term, &mut |rvars, body| {
+        for rv in rvars {
+            if !finite.contains(rv) {
+                continue;
+            }
+            let mut count = 0u64;
+            let mut many = false;
+            sites(body, *rv, 0, &mut |_| count += 1, &mut many);
+            // Region variables are not guaranteed unique across
+            // letregions; keep the largest count seen.
+            let entry = bounds.entry(*rv).or_insert(0);
+            *entry = (*entry).max(count);
+        }
+    });
+    bounds
+}
+
 /// Calls `f(rvars, body)` for every `letregion` node.
 fn walk(e: &Term, f: &mut impl FnMut(&[RegVar], &Term)) {
     if let Term::Letregion { rvars, body, .. } = e {
@@ -76,7 +103,13 @@ fn sites(e: &Term, rv: RegVar, depth: usize, on_site: &mut impl FnMut(usize), ma
             on_site(depth);
         }
         Term::Fix { ats, .. } if ats.iter().any(|r| hit(*r)) => {
-            on_site(depth);
+            // One closure is allocated per matching `at`, so each counts
+            // as its own site (matters for the multiplicity bounds).
+            for r in ats.iter() {
+                if hit(*r) {
+                    on_site(depth);
+                }
+            }
         }
         Term::RApp { inst, at, .. } => {
             if hit(*at) {
@@ -202,6 +235,24 @@ mod tests {
         );
         // The pair region is allocated inside the lambda body.
         assert!(!infinite.is_empty());
+    }
+
+    #[test]
+    fn bounds_cover_finite_regions() {
+        let prog =
+            rml_syntax::parse_program("fun main () = let val p = (1, 2) in #1 p end").unwrap();
+        let typed = rml_hm::infer_program(&prog).unwrap();
+        let out = rml_infer::infer(&typed, Default::default()).unwrap();
+        let (finite, _) = finite_regions(&out.term);
+        let bounds = finite_bounds(&out.term);
+        for rv in &finite {
+            assert!(
+                bounds.contains_key(rv),
+                "finite region {rv} must have a bound"
+            );
+        }
+        // At least one region (the pair's) actually allocates.
+        assert!(bounds.values().any(|b| *b >= 1));
     }
 
     #[test]

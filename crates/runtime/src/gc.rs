@@ -30,8 +30,18 @@ pub enum GcError {
         context: &'static str,
     },
     /// A header word failed to decode (heap corruption; indicates a
-    /// runtime bug).
-    Corrupt,
+    /// runtime bug). Carries the failing word and where it was found so
+    /// the diagnostic names the object instead of a bare "corruption".
+    Corrupt {
+        /// The undecodable header word.
+        word: u64,
+        /// Page the word was read from.
+        page: u32,
+        /// Word offset within the page.
+        offset: u32,
+        /// The region owning that page.
+        region: u32,
+    },
 }
 
 impl std::fmt::Display for GcError {
@@ -40,7 +50,16 @@ impl std::fmt::Display for GcError {
             GcError::DanglingPointer { context } => {
                 write!(f, "garbage collector traced a dangling pointer ({context})")
             }
-            GcError::Corrupt => write!(f, "heap corruption detected during collection"),
+            GcError::Corrupt {
+                word,
+                page,
+                offset,
+                region,
+            } => write!(
+                f,
+                "heap corruption during collection: undecodable header \
+                 {word:#018x} at page {page} offset {offset} (region r{region})"
+            ),
         }
     }
 }
@@ -200,7 +219,12 @@ impl Heap {
             return Ok(new);
         }
         let header_word = p.words[off as usize];
-        let header = Header::decode(header_word).ok_or(GcError::Corrupt)?;
+        let header = Header::decode(header_word).ok_or(GcError::Corrupt {
+            word: header_word,
+            page,
+            offset: off,
+            region: region.0,
+        })?;
         if header.kind == ObjKind::Forward {
             return Ok(Word(p.words[off as usize + 1]));
         }
@@ -234,11 +258,13 @@ impl Heap {
         let before_objs = self.stats.objects_allocated;
         let before_since = self.bytes_since_gc;
         let before_bytes = self.regions[region.0 as usize].bytes;
+        let before_robjs = self.regions[region.0 as usize].objects;
         let w = self.alloc_with_header(region, header, payload);
         self.stats.bytes_allocated = before_alloc;
         self.stats.objects_allocated = before_objs;
         self.bytes_since_gc = before_since;
         self.regions[region.0 as usize].bytes = before_bytes;
+        self.regions[region.0 as usize].objects = before_robjs;
         w
     }
 
@@ -257,8 +283,13 @@ impl Heap {
         let (start, end, skip) = match self.uniform_of_page(page) {
             Some(u) => (0, u.words(), 0),
             None => {
-                let header = Header::decode(self.pages[page as usize].words[off as usize])
-                    .ok_or(GcError::Corrupt)?;
+                let word = self.pages[page as usize].words[off as usize];
+                let header = Header::decode(word).ok_or(GcError::Corrupt {
+                    word,
+                    page,
+                    offset: off,
+                    region: self.pages[page as usize].region.0,
+                })?;
                 if header.kind == ObjKind::Str {
                     return Ok(());
                 }
@@ -295,8 +326,13 @@ impl Heap {
             let size = match uniform {
                 Some(u) => u.words(),
                 None => {
-                    let header = Header::decode(self.pages[page as usize].words[off])
-                        .ok_or(GcError::Corrupt)?;
+                    let word = self.pages[page as usize].words[off];
+                    let header = Header::decode(word).ok_or(GcError::Corrupt {
+                        word,
+                        page,
+                        offset: off as u32,
+                        region: self.pages[page as usize].region.0,
+                    })?;
                     1 + header.payload_words() as usize
                 }
             };
@@ -346,6 +382,25 @@ mod tests {
         assert!(after < before / 4, "before={before} after={after}");
         assert_eq!(h.field(roots[0], 0, "t").unwrap(), Word::int(1));
         assert_eq!(h.stats.gc_count, 1);
+    }
+
+    #[test]
+    fn empty_string_forwards_without_clobbering_neighbor() {
+        // Regression: a zero-byte string must still occupy two words
+        // (header + pad), or the in-place forwarding marker written when
+        // it is evacuated spills its pointer word over the next object's
+        // header. Found by the differential torture oracle (`strings`
+        // program, baseline × stress-every-step).
+        let mut h = Heap::new();
+        let r = h.create_region(RegionKind::Infinite);
+        let empty = h.alloc_str(r, "");
+        let neighbor = pair(&mut h, r, Word::int(41), Word::int(42));
+        let mut roots = [empty, neighbor];
+        h.collect(&mut roots, false).unwrap();
+        h.verify(&roots).unwrap();
+        assert_eq!(h.read_str(roots[0], "t").unwrap(), "");
+        assert_eq!(h.field(roots[1], 0, "t").unwrap(), Word::int(41));
+        assert_eq!(h.field(roots[1], 1, "t").unwrap(), Word::int(42));
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub(crate) struct Region {
     /// Untagged object layout, when the region is kind-homogeneous.
     pub uniform: Option<UniformKind>,
     pub bytes: u64,
+    /// Objects currently allocated in the region (mutator allocations
+    /// only — collector copies do not count).
+    pub objects: u64,
+    /// Multiplicity bound, when the analysis proved one: the region may
+    /// hold at most this many objects (checked by the heap verifier).
+    pub bound: Option<u64>,
 }
 
 /// The heap: a page table, a page free list, and region descriptors.
@@ -140,6 +146,8 @@ impl Heap {
             kind,
             uniform,
             bytes: 0,
+            objects: 0,
+            bound: None,
         });
         self.live_regions.push(id);
         self.stats.regions_created += 1;
@@ -171,6 +179,13 @@ impl Heap {
         page.words.clear();
         page.words.shrink_to_fit();
         self.free_pages.push(p);
+    }
+
+    /// Declares a multiplicity bound for a region: the verifier will
+    /// report an invariant violation if the region ever holds more
+    /// objects. Used for regions the multiplicity analysis proved finite.
+    pub fn set_region_bound(&mut self, r: RegionId, bound: u64) {
+        self.regions[r.0 as usize].bound = Some(bound);
     }
 
     /// Is the region live?
@@ -232,7 +247,10 @@ impl Heap {
     /// Allocates a string.
     pub fn alloc_str(&mut self, r: RegionId, s: &str) -> Word {
         let bytes = s.as_bytes();
-        let words = bytes.len().div_ceil(8);
+        // Pad to at least one payload word so the object can hold the
+        // collector's two-word forwarding marker (`Header::payload_words`
+        // applies the same floor when tiling pages).
+        let words = bytes.len().div_ceil(8).max(1);
         let mut payload = vec![0u64; words];
         for (i, b) in bytes.iter().enumerate() {
             payload[i / 8] |= (*b as u64) << ((i % 8) * 8);
@@ -286,6 +304,7 @@ impl Heap {
         page.used += need;
         let bytes = (need * 8) as u64;
         self.regions[r.0 as usize].bytes += bytes;
+        self.regions[r.0 as usize].objects += 1;
         self.stats.bytes_allocated += bytes;
         self.stats.objects_allocated += 1;
         self.bytes_since_gc += bytes;
@@ -342,9 +361,11 @@ impl Heap {
         } else {
             1
         };
-        Ok(Word(
-            self.pages[page as usize].words[off as usize + skip + i],
-        ))
+        self.pages[page as usize]
+            .words
+            .get(off as usize + skip + i)
+            .map(|x| Word(*x))
+            .ok_or(DanglingAccess { context })
     }
 
     /// Writes payload word `i` of the object at `w`, maintaining the
@@ -367,7 +388,11 @@ impl Heap {
         } else {
             1
         };
-        self.pages[page as usize].words[off as usize + skip + i] = v.0;
+        let slot = self.pages[page as usize]
+            .words
+            .get_mut(off as usize + skip + i)
+            .ok_or(DanglingAccess { context })?;
+        *slot = v.0;
         if self.generational && !self.pages[page as usize].young && v.is_pointer() {
             let (vp, _, _) = v.ptr_parts();
             if self
@@ -391,9 +416,12 @@ impl Heap {
         let h = self.header(w, context)?;
         let (page, off) = self.check_ptr(w, context)?;
         let words = &self.pages[page as usize].words;
-        let mut bytes = Vec::with_capacity(h.len as usize);
-        for i in 0..h.len as usize {
-            let word = words[off as usize + 1 + i / 8];
+        let n = h.len as usize;
+        let mut bytes = Vec::with_capacity(n.min(words.len() * 8));
+        for i in 0..n {
+            let word = *words
+                .get(off as usize + 1 + i / 8)
+                .ok_or(DanglingAccess { context })?;
             bytes.push(((word >> ((i % 8) * 8)) & 0xFF) as u8);
         }
         Ok(String::from_utf8_lossy(&bytes).into_owned())

@@ -26,12 +26,21 @@
 //! statistics (bytes allocated, live peaks, collection counts — the
 //! paper's `rss` and `gc #` columns) in [`stats`].
 
+// The torture rig's subject: library code here must surface failures as
+// structured errors, never via panicking escape hatches. Test modules
+// (compiled only under `cfg(test)`) are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod gc;
 pub mod heap;
+pub mod rng;
 pub mod stats;
+pub mod verify;
 pub mod word;
 
 pub use gc::GcError;
 pub use heap::{Heap, RegionId, RegionKind, UniformKind};
+pub use rng::Xorshift64;
 pub use stats::HeapStats;
+pub use verify::{HeapInvariantError, InvariantKind, VerifyReport};
 pub use word::{ObjKind, Word};

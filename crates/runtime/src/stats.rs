@@ -22,6 +22,14 @@ pub struct HeapStats {
     pub regions_created: u64,
     /// Peak number of simultaneously live regions.
     pub peak_regions: u64,
+    /// Collections forced outside the normal heuristic (stress schedules,
+    /// `forcegc`).
+    pub forced_gcs: u64,
+    /// Heap-invariant verifier walks performed.
+    pub verify_walks: u64,
+    /// Injected faults (allocation budget, continuation-depth limit) the
+    /// run hit and unwound from.
+    pub faults_injected: u64,
 }
 
 impl HeapStats {

@@ -188,10 +188,15 @@ impl Header {
         Some(Header { kind, len, raw })
     }
 
-    /// Payload size in words.
+    /// Payload size in words. Strings pack `len` bytes, padded to at
+    /// least one word: a zero-payload object would occupy a single word,
+    /// too small for the two-word forwarding marker (header + pointer)
+    /// the collector writes over evacuated objects — the marker would
+    /// clobber the next object's header. Only `Str` can have an empty
+    /// payload (every other kind has at least one field).
     pub fn payload_words(self) -> u32 {
         match self.kind {
-            ObjKind::Str => self.len.div_ceil(8),
+            ObjKind::Str => self.len.div_ceil(8).max(1),
             _ => self.len,
         }
     }

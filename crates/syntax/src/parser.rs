@@ -50,9 +50,18 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// Maximum expression/type nesting depth. The parser is recursive
+/// descent, so unbounded nesting (`((((…`) would overflow the stack —
+/// a crash, not a [`ParseError`]. Each nesting level costs the full
+/// precedence chain (~11 stack frames), so the limit keeps worst-case
+/// stack use under a megabyte even in debug builds on a default 2 MiB
+/// thread, while staying far beyond any real program's nesting.
+const MAX_PARSE_DEPTH: usize = 64;
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 /// A parsed parameter, possibly a tuple pattern pending desugaring.
@@ -119,6 +128,17 @@ impl Parser {
         }
     }
 
+    /// Depth accounting for the recursive productions ([`Parser::expr`]
+    /// and [`Parser::ty`], which every nesting cycle passes through).
+    fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(self.err_here("expression nesting too deep"))
+        } else {
+            Ok(())
+        }
+    }
+
     fn expect(&mut self, t: Tok) -> PResult<()> {
         match self.peek() {
             Some(x) if *x == t => {
@@ -154,6 +174,13 @@ impl Parser {
     // ---------- types ----------
 
     fn ty(&mut self) -> PResult<TyAnn> {
+        self.enter()?;
+        let r = self.ty_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn ty_inner(&mut self) -> PResult<TyAnn> {
         let lhs = self.ty_prod()?;
         if self.eat(&Tok::Arrow) {
             let rhs = self.ty()?;
@@ -378,6 +405,13 @@ impl Parser {
     // ---------- expressions ----------
 
     fn expr(&mut self) -> PResult<Expr> {
+        self.enter()?;
+        let r = self.expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self) -> PResult<Expr> {
         let lo = self.cur_span();
         let mut e = self.expr_orelse()?;
         loop {
@@ -828,7 +862,11 @@ impl Parser {
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut decls = Vec::new();
     while p.peek().is_some() {
         decls.push(p.decl()?);
@@ -851,7 +889,11 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 /// ```
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     if p.peek().is_some() {
         return Err(p.err_here("trailing input after expression"));

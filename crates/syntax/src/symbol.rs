@@ -75,6 +75,13 @@ impl Symbol {
         Symbol(i)
     }
 
+    /// The interned string for index `i`, or `None` if `i` was never
+    /// produced by [`Symbol::index`]. The non-panicking form used when
+    /// the index comes from untrusted data (raw heap words, decoded IR).
+    pub fn lookup_index(i: u32) -> Option<&'static str> {
+        interner().lock().ok()?.strings.get(i as usize).copied()
+    }
+
     /// Creates a fresh symbol that is guaranteed not to clash with any
     /// source identifier (the name contains a `#`, which the lexer rejects
     /// in identifiers).

@@ -15,10 +15,19 @@
 //!   --load-ir <file.ir>     load serialized IR instead of compiling
 //!   --stats                 print allocation/GC statistics
 //!   -e <expr>               compile `fun main () = <expr>` instead of a file
+//!   --torture               run the differential torture oracle: every
+//!                           strategy × every GC schedule, one verdict
+//!   --gc-stress=N           force a collection every N machine steps
+//!   --alloc-budget=N        inject OutOfMemory at the Nth allocation
+//!   --depth-limit=N         inject a continuation-depth limit
+//!   --seed=N                PRNG seed for stress schedules (default
+//!                           0x704110E5); same seed ⇒ same schedule ⇒
+//!                           same outcome
 //! ```
 //!
 //! Compile and check errors are rendered as source-located diagnostics
-//! with caret underlines (see `rml_session::Diagnostic`).
+//! with caret underlines (see `rml_session::Diagnostic`); runtime faults
+//! render through the same path as the `E0005` family.
 
 use rml::{
     check, check_full, compile, compile_with_basis, emit_ir, execute, load_ir, ExecOpts, Strategy,
@@ -28,7 +37,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rmlc [--strategy rg|rg-|r] [--baseline] [--no-basis] \
          [--print-term] [--print-schemes] [--check] [--check-full] \
-         [--emit=ir] [-o <file>] [--stats] \
+         [--emit=ir] [-o <file>] [--stats] [--torture] [--gc-stress=N] \
+         [--alloc-budget=N] [--depth-limit=N] [--seed=N] \
          (<file.rml> | -e <expr> | --load-ir <file.ir>)"
     );
     std::process::exit(2)
@@ -49,6 +59,16 @@ fn main() {
     let mut stats = false;
     let mut file: Option<String> = None;
     let mut expr: Option<String> = None;
+    let mut torture = false;
+    let mut gc_stress: Option<u64> = None;
+    let mut alloc_budget: Option<u64> = None;
+    let mut depth_limit: Option<usize> = None;
+    let mut seed: u64 = 0x7041_10E5;
+    // `--flag=N` numeric arguments.
+    let num = |a: &str| -> Option<u64> {
+        let (_, v) = a.split_once('=')?;
+        v.parse().ok()
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strategy" => {
@@ -69,9 +89,58 @@ fn main() {
             "-o" => out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--load-ir" => ir_path = Some(args.next().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
+            "--torture" => torture = true,
             "-e" => expr = Some(args.next().unwrap_or_else(|| usage())),
+            s if s.starts_with("--gc-stress=") => {
+                gc_stress = Some(num(s).unwrap_or_else(|| usage()))
+            }
+            s if s.starts_with("--alloc-budget=") => {
+                alloc_budget = Some(num(s).unwrap_or_else(|| usage()))
+            }
+            s if s.starts_with("--depth-limit=") => {
+                depth_limit = Some(num(s).unwrap_or_else(|| usage()) as usize)
+            }
+            s if s.starts_with("--seed=") => seed = num(s).unwrap_or_else(|| usage()),
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => usage(),
+        }
+    }
+    if torture {
+        // The oracle compiles all three strategies itself, so it needs
+        // source input, not pre-strategy serialized IR.
+        if ir_path.is_some() {
+            usage()
+        }
+        let (src, name) = match (&file, &expr) {
+            (Some(f), None) => {
+                let src = std::fs::read_to_string(f).unwrap_or_else(|e| {
+                    eprintln!("rmlc: cannot read {f}: {e}");
+                    std::process::exit(1)
+                });
+                (src, f.clone())
+            }
+            (None, Some(e)) => (format!("fun main () = {e}"), "<expr>".to_string()),
+            _ => usage(),
+        };
+        let topts = rml::torture::TortureOpts {
+            seed,
+            with_basis: use_basis,
+            ..Default::default()
+        };
+        match rml::torture::torture(&name, &src, &topts) {
+            Ok(rep) => {
+                print!("{}", rep.render());
+                std::process::exit(i32::from(!rep.ok()))
+            }
+            Err(e) => {
+                let full = if use_basis {
+                    format!("{}\n{}", rml::basis::BASIS, src)
+                } else {
+                    src
+                };
+                eprint!("{}", e.render(&full, &name));
+                std::process::exit(1)
+            }
         }
     }
     let (compiled, src_name) = if let Some(p) = ir_path {
@@ -162,6 +231,9 @@ fn main() {
     }
     let opts = ExecOpts {
         baseline,
+        gc: gc_stress.map(|n| rml_eval::GcPolicy::stress_every(n.max(1), seed)),
+        alloc_budget,
+        depth_limit,
         ..ExecOpts::default()
     };
     match execute(&compiled, &opts) {
@@ -170,17 +242,28 @@ fn main() {
             println!("{}", out.value);
             if stats {
                 eprintln!(
-                    "steps {}  alloc {}B  peak {}B  regions {}  gc {}",
+                    "steps {}  alloc {}B  peak {}B  regions {}  gc {} \
+                     forced {}  walks {}  faults {}",
                     out.steps,
                     out.stats.bytes_allocated,
                     out.stats.peak_bytes(),
                     out.stats.regions_created,
-                    out.stats.gc_count
+                    out.stats.gc_count,
+                    out.stats.forced_gcs,
+                    out.stats.verify_walks,
+                    out.stats.faults_injected
                 );
             }
         }
         Err(e) => {
-            eprintln!("rmlc: runtime error: {e}");
+            // Runtime faults go through the same diagnostic renderer as
+            // compile errors (the E0005 family). They carry no span, so
+            // this prints the coded header and notes, not an excerpt.
+            eprint!(
+                "{}",
+                e.to_diagnostic()
+                    .render(&rml::SourceMap::new(&compiled.source), &src_name)
+            );
             std::process::exit(1)
         }
     }

@@ -32,6 +32,7 @@
 pub mod basis;
 pub mod pipeline;
 pub mod programs;
+pub mod torture;
 
 pub use pipeline::{
     check, check_diag, check_full, compile, compile_count, compile_with_basis, emit_ir, execute,

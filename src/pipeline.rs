@@ -286,6 +286,13 @@ pub struct ExecOpts {
     pub tag_free: bool,
     /// Step limit.
     pub fuel: u64,
+    /// Fault injection: fail with `OutOfMemory` at this many allocations.
+    pub alloc_budget: Option<u64>,
+    /// Fault injection: continuation-depth limit.
+    pub depth_limit: Option<usize>,
+    /// Heap-invariant verification cadence; `None` picks the policy
+    /// default (`AfterGc` under stress schedules, `Off` otherwise).
+    pub verify: Option<rml_eval::VerifyLevel>,
 }
 
 impl Default for ExecOpts {
@@ -296,6 +303,9 @@ impl Default for ExecOpts {
             use_finite_regions: true,
             tag_free: true,
             fuel: u64::MAX,
+            alloc_budget: None,
+            depth_limit: None,
+            verify: None,
         }
     }
 }
@@ -318,6 +328,7 @@ pub fn execute(c: &Compiled, opts: &ExecOpts) -> Result<RunOutcome, RunError> {
     });
     if opts.use_finite_regions && !opts.baseline {
         ro.finite = c.repr.finite.clone();
+        ro.finite_bounds = c.repr.bounds.clone();
     }
     if opts.tag_free && !opts.baseline {
         ro.uniform = c
@@ -335,6 +346,12 @@ pub fn execute(c: &Compiled, opts: &ExecOpts) -> Result<RunOutcome, RunError> {
             .collect();
     }
     ro.fuel = opts.fuel;
+    ro.alloc_budget = opts.alloc_budget;
+    ro.depth_limit = opts.depth_limit;
+    ro.verify = opts.verify.unwrap_or(match ro.gc {
+        GcPolicy::Stress(_) => rml_eval::VerifyLevel::AfterGc,
+        _ => rml_eval::VerifyLevel::Off,
+    });
     rml_eval::run(&c.output.term, &ro)
 }
 
