@@ -22,10 +22,9 @@
 //! read — delete the directory to reclaim the space.
 
 fn main() {
-    let repeats = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    // A non-numeric repeats argument fails loudly (exit 2) instead of
+    // silently falling back to 3 best-of runs.
+    let repeats = rml_bench::arg_u64(1, "repeats", 3) as usize;
     let cache_setting = std::env::var("RML_BENCH_CACHE").unwrap_or_default();
     let cache_dir = match cache_setting.as_str() {
         "off" | "0" => None,

@@ -23,14 +23,10 @@
 //! Exit status is non-zero when any program diverges.
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x7041_10E5);
-    let fuel = std::env::var("RML_TORTURE_FUEL")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000_000);
+    // Present-but-unparsable values fail loudly (exit 2): a typo like
+    // `RML_TORTURE_FUEL=2m` must not silently torture with the default.
+    let seed = rml_bench::arg_u64(1, "seed", 0x7041_10E5);
+    let fuel = rml_bench::env_u64("RML_TORTURE_FUEL", 2_000_000);
     let cache_setting = std::env::var("RML_BENCH_CACHE").unwrap_or_default();
     let cache_dir = match cache_setting.as_str() {
         "off" | "0" => None,

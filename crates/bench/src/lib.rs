@@ -27,11 +27,37 @@
 //!   up an idle thread. Results are slotted by index, keeping the table
 //!   order deterministic.
 
-use rml::{compile_with_basis, execute, programs::Program, ExecOpts, Strategy};
+use rml::{compile_with_basis, execute, programs::Program, ExecOpts, Json, Strategy};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Parses an optional numeric environment variable. Absent → `default`;
+/// present but unparsable → loud failure (stderr diagnostic + exit 2),
+/// never a silent fallback: `RML_TORTURE_FUEL=2m` must not quietly run
+/// with the default budget.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("error: {name}={v}: not a number ({e})");
+            std::process::exit(2)
+        }),
+    }
+}
+
+/// As [`env_u64`], for an optional positional CLI argument (`nth` is the
+/// 1-based argument position; `what` names it in the diagnostic).
+pub fn arg_u64(nth: usize, what: &str, default: u64) -> u64 {
+    match std::env::args().nth(nth) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("error: {what} argument `{v}`: not a number ({e})");
+            std::process::exit(2)
+        }),
+    }
+}
 
 /// Per-strategy measurements.
 #[derive(Debug, Clone)]
@@ -59,6 +85,10 @@ pub struct Measurement {
     pub faults_survived: u64,
     /// Whether the run crashed (dangling pointer under `rg-`).
     pub crashed: bool,
+    /// The unified metrics snapshot (per-phase compile times, store
+    /// counters, heap stats, GC pause percentiles); `None` when the run
+    /// crashed. Embedded per-run in `BENCH_figure9.json`.
+    pub metrics: Option<rml::MetricsSnapshot>,
 }
 
 /// One row of the table.
@@ -335,6 +365,11 @@ pub fn measure_compiled_opts(
             verify_walks: out.stats.verify_walks,
             faults_survived: 0,
             crashed: false,
+            metrics: Some(rml::MetricsSnapshot::new(
+                &c.timings,
+                c.output.store_stats,
+                &out,
+            )),
         },
         _ => Measurement {
             label,
@@ -347,6 +382,7 @@ pub fn measure_compiled_opts(
             verify_walks: 0,
             faults_survived: 0,
             crashed: true,
+            metrics: None,
         },
     }
 }
@@ -694,71 +730,58 @@ pub fn render(rows: &[Row]) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+/// Milliseconds with 3-digit precision, as a JSON number.
+fn json_ms(d: Duration) -> Json {
+    Json::Num((d.as_secs_f64() * 1_000_000.0).round() / 1000.0)
+}
+
+fn measurement_json(m: &Measurement) -> Json {
+    let mut fields = vec![
+        ("label".to_string(), Json::str(m.label)),
+        ("time_ms".to_string(), json_ms(m.time)),
+        ("steps".to_string(), Json::UInt(m.steps)),
+        ("alloc_bytes".to_string(), Json::UInt(m.alloc_bytes)),
+        ("peak_bytes".to_string(), Json::UInt(m.peak_bytes)),
+        ("gc_count".to_string(), Json::UInt(m.gc_count)),
+        ("forced_gcs".to_string(), Json::UInt(m.forced_gcs)),
+        ("verify_walks".to_string(), Json::UInt(m.verify_walks)),
+        ("faults_survived".to_string(), Json::UInt(m.faults_survived)),
+        ("crashed".to_string(), Json::Bool(m.crashed)),
+    ];
+    if let Some(metrics) = &m.metrics {
+        fields.push(("metrics".to_string(), metrics.to_json()));
     }
-    out
+    Json::Obj(fields)
 }
 
 /// Serialises the table as machine-readable JSON (per-program compile
 /// time plus the per-strategy run time, steps, allocation, peak bytes,
-/// and collection counts). Hand-rolled: the workspace has no serde.
+/// collection counts, and the unified metrics snapshot). All emission
+/// goes through [`rml_session::json`] — strings are escaped and
+/// non-finite floats are rejected rather than interpolated.
 pub fn to_json(rows: &[Row]) -> String {
-    use std::fmt::Write;
-    let mut s = String::from("{\n  \"rows\": [\n");
-    for (ri, r) in rows.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"name\": \"{}\", \"loc\": {}, \"spurious_fns\": {}, \"total_fns\": {}, \
-             \"spurious_insts\": {}, \"total_insts\": {}, \"diff\": {}, \
-             \"compile_ms\": {:.3}, \"runs\": [",
-            json_escape(r.name),
-            r.loc,
-            r.fcns.0,
-            r.fcns.1,
-            r.insts.0,
-            r.insts.1,
-            r.diff,
-            r.compile_time.as_secs_f64() * 1000.0,
-        );
-        for (mi, m) in r.runs.iter().enumerate() {
-            let _ = write!(
-                s,
-                "{{\"label\": \"{}\", \"time_ms\": {:.3}, \"steps\": {}, \
-                 \"alloc_bytes\": {}, \"peak_bytes\": {}, \"gc_count\": {}, \
-                 \"forced_gcs\": {}, \"verify_walks\": {}, \"faults_survived\": {}, \
-                 \"crashed\": {}}}",
-                json_escape(m.label),
-                m.time.as_secs_f64() * 1000.0,
-                m.steps,
-                m.alloc_bytes,
-                m.peak_bytes,
-                m.gc_count,
-                m.forced_gcs,
-                m.verify_walks,
-                m.faults_survived,
-                m.crashed,
-            );
-            if mi + 1 < r.runs.len() {
-                s.push_str(", ");
-            }
-        }
-        s.push_str("]}");
-        if ri + 1 < rows.len() {
-            s.push(',');
-        }
-        s.push('\n');
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let rows_json: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("name", Json::str(r.name)),
+                ("loc", Json::UInt(r.loc as u64)),
+                ("spurious_fns", Json::UInt(r.fcns.0 as u64)),
+                ("total_fns", Json::UInt(r.fcns.1 as u64)),
+                ("spurious_insts", Json::UInt(r.insts.0 as u64)),
+                ("total_insts", Json::UInt(r.insts.1 as u64)),
+                ("diff", Json::Bool(r.diff)),
+                ("compile_ms", json_ms(r.compile_time)),
+                (
+                    "runs",
+                    Json::Arr(r.runs.iter().map(measurement_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let mut out = Json::obj([("rows", Json::Arr(rows_json))]).render();
+    out.push('\n');
+    out
 }
 
 #[cfg(test)]
@@ -858,8 +881,12 @@ mod tests {
         });
         let j = to_json(&[r]);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
-        assert!(j.contains("\"name\": \"fib\""));
-        assert!(j.contains("\"label\": \"baseline\""));
+        assert!(j.contains("\"name\":\"fib\""));
+        assert!(j.contains("\"label\":\"baseline\""));
+        // Every non-crashed run embeds the unified metrics snapshot.
+        assert!(j.contains("\"metrics\""));
+        assert!(j.contains("\"gc_pauses\""));
+        assert!(j.contains("\"p99_us\""));
         // Balanced braces and brackets (no serde to parse it back).
         let depth = |open: char, close: char| {
             j.chars().filter(|c| *c == open).count() as i64

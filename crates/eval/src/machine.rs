@@ -4,7 +4,8 @@ use crate::code::{CodeEntry, CodeId, CodeTable};
 use crate::decode::RunValue;
 use rml_core::terms::Term;
 use rml_core::vars::RegVar;
-use rml_runtime::{GcError, Heap, ObjKind, RegionId, RegionKind, UniformKind, Word};
+use rml_runtime::{GcError, GcPause, Heap, ObjKind, RegionId, RegionKind, UniformKind, Word};
+use rml_session::trace;
 use rml_syntax::ast::PrimOp;
 use rml_syntax::Symbol;
 use std::cell::Cell;
@@ -324,6 +325,8 @@ pub struct RunOutcome {
     pub steps: u64,
     /// Heap statistics (allocation, collections, peak RSS).
     pub stats: rml_runtime::HeapStats,
+    /// Per-collection pause records, in collection order.
+    pub pauses: Vec<GcPause>,
 }
 
 enum Frame<'a> {
@@ -490,13 +493,16 @@ pub fn run(term: &Term, opts: &RunOpts) -> Result<RunOutcome, RunError> {
         let r = m.heap.create_region(RegionKind::Infinite);
         renv = renv_bind(&renv, rv, r);
     }
+    let run_span = trace::span("machine.run", "eval");
     let value = m.run_loop(term, renv)?;
+    drop(run_span);
     let value = crate::decode::decode(&m.heap, value);
     Ok(RunOutcome {
         value,
         output: m.output,
         steps: m.steps,
         stats: m.heap.stats,
+        pauses: std::mem::take(&mut m.heap.pauses),
     })
 }
 
@@ -525,6 +531,11 @@ impl<'a> Machine<'a> {
             self.steps += 1;
             if self.steps > self.opts.fuel {
                 return Err(RunError::OutOfFuel);
+            }
+            // Step-batch samples: one counter event per 4096 steps keeps
+            // trace volume proportional to work without per-step cost.
+            if self.steps & 0xFFF == 0 && trace::enabled() {
+                trace::counter("machine.steps", self.steps as f64);
             }
             self.check_faults()?;
             self.maybe_collect(&ctrl)?;
@@ -801,6 +812,13 @@ impl<'a> Machine<'a> {
                     }
                     regions.push(r);
                     renv2 = renv_bind(&renv2, *rv, r);
+                }
+                if trace::enabled() {
+                    trace::instant(
+                        "letregion.enter",
+                        "eval",
+                        &[("regions", regions.len() as f64)],
+                    );
                 }
                 self.kont.push(Frame::PopRegions { regions });
                 Ok(Ctrl::Eval(body, env, renv2))
@@ -1214,6 +1232,13 @@ impl<'a> Machine<'a> {
                 ret(Word::UNIT)
             }
             Frame::PopRegions { regions } => {
+                if trace::enabled() {
+                    trace::instant(
+                        "letregion.exit",
+                        "eval",
+                        &[("regions", regions.len() as f64)],
+                    );
+                }
                 for r in regions {
                     self.heap.drop_region(r);
                 }

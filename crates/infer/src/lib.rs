@@ -111,17 +111,25 @@ pub struct Output {
 /// an upstream type-checking bug) or unsupported constructs (global
 /// exception-name collisions at different types).
 pub fn infer(p: &TProgram, opts: Options) -> Result<Output, InferError> {
+    let _span = rml_session::trace::span("region-inference", "pipeline");
     let mut c = constrain::Constrain::new(opts.strategy, opts.style);
-    let (cterm, _eff) = c.program(p)?;
+    let (cterm, _eff) = {
+        let _s = rml_session::trace::span("infer.constrain", "pipeline");
+        c.program(p)?
+    };
     let global_rho = c.global_rho;
     let stats = c.stats.clone();
     let provenance = c.provenance.clone();
     let (mut b, exns) = build::Build::new(&mut c);
     let global = b.global_region(global_rho);
     let env = rml_core::TypeEnv::default();
-    let (term, pi, eff) = b.build(&env, &cterm)?;
+    let (term, pi, eff) = {
+        let _s = rml_session::trace::span("infer.build", "pipeline");
+        b.build(&env, &cterm)?
+    };
     // Close the program: everything not global dies here.
     let (term, _eff) = {
+        let _s = rml_session::trace::span("infer.close", "pipeline");
         let (t, e) = {
             let mut fb = b;
             fb.close(&env, &pi, term, eff)
@@ -132,6 +140,18 @@ pub fn infer(p: &TProgram, opts: Options) -> Result<Output, InferError> {
     let mut schemes = Vec::new();
     collect_schemes(&term, &mut schemes);
     let store_stats = c.st.stats();
+    if rml_session::trace::enabled() {
+        rml_session::trace::instant(
+            "infer.store",
+            "pipeline",
+            &[
+                ("find_ops", store_stats.find_ops as f64),
+                ("unions", store_stats.unions as f64),
+                ("closure_cache_hits", store_stats.closure_cache_hits as f64),
+                ("closure_recomputes", store_stats.closure_recomputes as f64),
+            ],
+        );
+    }
     Ok(Output {
         term,
         exns,

@@ -18,8 +18,11 @@
 //! remembered set for old-to-young pointers.
 
 use crate::heap::{Heap, RegionKind};
-use crate::word::{Header, ObjKind, Word};
+use crate::stats::GcPause;
+use crate::word::{Header, ObjKind, Word, WORD_BYTES};
+use rml_session::trace;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A collection error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +80,9 @@ impl Heap {
     /// evacuated) state; callers should treat this as fatal for the
     /// program under execution, as a real collector would crash.
     pub fn collect(&mut self, roots: &mut [Word], minor: bool) -> Result<(), GcError> {
+        let _span = trace::span(if minor { "gc.minor" } else { "gc.major" }, "runtime");
+        let pause_start = Instant::now();
+        let copied_before = self.stats.bytes_copied;
         // 1. Decide which pages get evacuated.
         let evacuate: Vec<bool> = self
             .pages
@@ -162,8 +168,26 @@ impl Heap {
             .pages
             .iter()
             .filter(|p| p.live)
-            .map(|p| (p.used * 8) as u64)
+            .map(|p| p.used as u64 * WORD_BYTES)
             .sum();
+        let pause = GcPause {
+            duration: pause_start.elapsed(),
+            bytes_copied: self.stats.bytes_copied - copied_before,
+            live_bytes: self.live_after_gc,
+            minor,
+        };
+        self.pauses.push(pause);
+        if trace::enabled() {
+            trace::counter("heap.live_bytes", self.live_after_gc as f64);
+            trace::instant(
+                "gc.pause",
+                "runtime",
+                &[
+                    ("us", pause.duration.as_micros() as f64),
+                    ("copied_bytes", pause.bytes_copied as f64),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -213,7 +237,7 @@ impl Heap {
                 raw: 0,
             };
             let new = self.copy_object(region, header, &payload);
-            self.stats.bytes_copied += (words * 8) as u64;
+            self.stats.bytes_copied += words as u64 * WORD_BYTES;
             fwd.insert(w.0, new);
             queue.push(new);
             return Ok(new);
@@ -232,7 +256,7 @@ impl Heap {
         let payload: Vec<u64> =
             p.words[off as usize + 1..off as usize + 1 + header.payload_words() as usize].to_vec();
         let new = self.copy_object(region, header, &payload);
-        self.stats.bytes_copied += ((payload.len() + 1) * 8) as u64;
+        self.stats.bytes_copied += (payload.len() as u64 + 1) * WORD_BYTES;
         // Leave a forwarding marker.
         let p = &mut self.pages[page as usize];
         p.words[off as usize] = Header {

@@ -1,7 +1,7 @@
 //! The page-based region heap.
 
-use crate::stats::HeapStats;
-use crate::word::{Header, ObjKind, Word};
+use crate::stats::{GcPause, HeapStats};
+use crate::word::{Header, ObjKind, Word, WORD_BYTES};
 
 /// Words per (regular) page. Large objects get oversized pages of their
 /// own.
@@ -96,6 +96,9 @@ pub struct Heap {
     live_regions: Vec<RegionId>,
     /// Statistics.
     pub stats: HeapStats,
+    /// One record per collection, in order — the series behind the
+    /// metrics snapshot's pause histogram.
+    pub pauses: Vec<GcPause>,
     /// Bytes allocated since the last collection (trigger input).
     pub bytes_since_gc: u64,
     /// Live bytes surviving the last collection.
@@ -178,6 +181,7 @@ impl Heap {
         self.stats.live_words -= page.words.len() as u64;
         page.words.clear();
         page.words.shrink_to_fit();
+        self.stats.pages_released += 1;
         self.free_pages.push(p);
     }
 
@@ -225,6 +229,7 @@ impl Heap {
         page.sealed = false;
         self.stats.live_words += page.words.len() as u64;
         self.stats.peak_live_words = self.stats.peak_live_words.max(self.stats.live_words);
+        self.stats.pages_allocated += 1;
         idx
     }
 
@@ -302,7 +307,7 @@ impl Heap {
             page.words[off + 1..off + need].copy_from_slice(payload);
         }
         page.used += need;
-        let bytes = (need * 8) as u64;
+        let bytes = need as u64 * WORD_BYTES;
         self.regions[r.0 as usize].bytes += bytes;
         self.regions[r.0 as usize].objects += 1;
         self.stats.bytes_allocated += bytes;

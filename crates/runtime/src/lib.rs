@@ -41,6 +41,6 @@ pub mod word;
 pub use gc::GcError;
 pub use heap::{Heap, RegionId, RegionKind, UniformKind};
 pub use rng::Xorshift64;
-pub use stats::HeapStats;
+pub use stats::{GcPause, HeapStats};
 pub use verify::{HeapInvariantError, InvariantKind, VerifyReport};
-pub use word::{ObjKind, Word};
+pub use word::{ObjKind, Word, WORD_BYTES};

@@ -1,6 +1,9 @@
 //! Allocation and collection statistics — the raw material for the
 //! paper's `rss` and `gc #` columns.
 
+use crate::word::WORD_BYTES;
+use std::time::Duration;
+
 /// Heap statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HeapStats {
@@ -30,11 +33,29 @@ pub struct HeapStats {
     /// Injected faults (allocation budget, continuation-depth limit) the
     /// run hit and unwound from.
     pub faults_injected: u64,
+    /// Pages handed out by the page allocator (fresh or recycled).
+    pub pages_allocated: u64,
+    /// Pages returned to the free list (region exit, post-GC reclaim).
+    pub pages_released: u64,
 }
 
 impl HeapStats {
     /// Peak RSS in bytes.
     pub fn peak_bytes(&self) -> u64 {
-        self.peak_live_words * 8
+        self.peak_live_words * WORD_BYTES
     }
+}
+
+/// One collection's pause record, appended by `Heap::collect` — the raw
+/// series behind the metrics snapshot's pause histogram (p50/p99/max).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcPause {
+    /// Wall-clock duration of the stop-the-world pause.
+    pub duration: Duration,
+    /// Bytes the collector copied during this pause.
+    pub bytes_copied: u64,
+    /// Live bytes surviving the collection.
+    pub live_bytes: u64,
+    /// Was this a minor (generational) collection?
+    pub minor: bool,
 }

@@ -18,6 +18,12 @@
 
 use std::fmt;
 
+/// Size of a machine word in bytes — the one authority for every
+/// words→bytes conversion (heap accounting, [`crate::HeapStats`], the
+/// metrics snapshot). Everything in this runtime is word-addressed;
+/// byte figures exist only for reporting.
+pub const WORD_BYTES: u64 = 8;
+
 /// A runtime word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Word(pub u64);

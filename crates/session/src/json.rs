@@ -1,0 +1,187 @@
+//! A tiny JSON serializer — the one authority for every byte of JSON
+//! this workspace emits (the Figure 9 benchmark table, the Chrome trace
+//! exporter, the metrics snapshot).
+//!
+//! The workspace deliberately carries no serde; what it needs from JSON
+//! is small and fixed: build a value tree, render it with correct string
+//! escaping, and refuse to emit anything a strict parser would reject.
+//! In particular **non-finite floats are an error**, not `NaN`/`Infinity`
+//! tokens — `format!("{}", f64::NAN)` interpolated into hand-rolled JSON
+//! was exactly the class of bug this module exists to end.
+
+use std::fmt::Write;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer (rendered without a fraction).
+    Int(i64),
+    /// An unsigned integer (rendered without a fraction).
+    UInt(u64),
+    /// A float; must be finite at render time.
+    Num(f64),
+    /// A string (escaped at render time).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Rendering rejected a non-finite float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteFloat(pub f64);
+
+impl std::fmt::Display for NonFiniteFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "refusing to emit non-finite float {} as JSON", self.0)
+    }
+}
+
+impl std::error::Error for NonFiniteFloat {}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for object values.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteFloat`] if any [`Json::Num`] in the tree is NaN
+    /// or infinite.
+    pub fn try_render(&self) -> Result<String, NonFiniteFloat> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
+    }
+
+    /// Renders the tree, panicking on non-finite floats (use
+    /// [`Json::try_render`] where the floats are not known finite).
+    ///
+    /// # Panics
+    ///
+    /// On a non-finite [`Json::Num`].
+    pub fn render(&self) -> String {
+        #[allow(clippy::expect_used)]
+        self.try_render()
+            .expect("non-finite float in JSON emission")
+    }
+
+    fn write(&self, out: &mut String) -> Result<(), NonFiniteFloat> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    return Err(NonFiniteFloat(*x));
+                }
+                // Rust's shortest-roundtrip float `Display` is valid JSON
+                // except that integral values print without a fraction —
+                // also valid JSON, so nothing to fix up.
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\":");
+                    v.write(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and all control characters).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let j = Json::str("a\"b\\c\nd\u{1}e");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn nested_trees_render_with_preserved_order() {
+        let j = Json::obj([
+            ("b", Json::Int(-1)),
+            (
+                "a",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::UInt(7)]),
+            ),
+        ]);
+        assert_eq!(j.render(), r#"{"b":-1,"a":[null,true,7]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Json::Arr(vec![Json::Num(x)]).try_render().unwrap_err();
+            assert!(!err.0.is_finite());
+        }
+        assert_eq!(Json::Num(1.5).try_render().unwrap(), "1.5");
+    }
+}

@@ -16,13 +16,21 @@
 //!
 //! A [`Session`] bundles a program's source map with the diagnostic sink
 //! and is constructed once per compilation by the root facade.
+//!
+//! Two further cross-cutting services live here because every layer needs
+//! them: the [`json`] serializer (the one authority for JSON emission —
+//! benchmarks, traces, metrics) and the [`trace`] facade (spans, instant
+//! events, counters; zero-cost when no sink is installed).
 
 mod diag;
 mod intern;
+pub mod json;
 mod span;
+pub mod trace;
 
 pub use diag::{Diagnostic, Label, Severity};
 pub use intern::Interner;
+pub use json::Json;
 pub use span::{SourceMap, Span};
 
 /// One compilation's shared state: the source (with its line table), the

@@ -1,0 +1,337 @@
+//! The observability facade: spans, instants, and counters, fanned out to
+//! a process-global sink.
+//!
+//! Every layer of the stack (pipeline phases, the region-inference
+//! fix-point, the abstract machine, the collector) calls into this module
+//! unconditionally; whether anything happens is decided by one relaxed
+//! atomic load. **The disabled path performs no allocation and takes no
+//! lock** — [`enabled`] is a single `AtomicBool` read, and every entry
+//! point checks it before touching arguments. The perf smoke suite pins
+//! this contract (`events_recorded()` must stay zero across an
+//! instrumented run with no sink installed).
+//!
+//! The default sink is a [`Recorder`]: an in-memory event buffer with a
+//! Chrome trace-event JSON exporter ([`Recorder::to_chrome_json`]) whose
+//! output loads in `about://tracing` and Perfetto. Spans are emitted as
+//! paired `B`/`E` events per thread, so nesting (GC pauses inside a run
+//! span, phases inside a compile span) is reconstructed by the viewer.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span begin (`B`).
+    Begin,
+    /// Span end (`E`).
+    End,
+    /// Instant event (`i`).
+    Instant,
+    /// Counter sample (`C`).
+    Counter,
+}
+
+impl TracePhase {
+    fn chrome(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+            TracePhase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded event (as stored by the [`Recorder`]).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (`"gc.collect"`, `"region-inference"`, …).
+    pub name: &'static str,
+    /// Category (`"pipeline"`, `"eval"`, `"runtime"`, `"counter"`).
+    pub cat: &'static str,
+    /// Phase.
+    pub ph: TracePhase,
+    /// Microseconds since the recorder's epoch.
+    pub ts_us: u64,
+    /// Logical thread id (small integers, stable per thread).
+    pub tid: u64,
+    /// Numeric arguments (counter values, sizes, counts).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// A destination for trace events. Implementations must be cheap enough
+/// to call from the machine's step loop (the facade already gates on
+/// [`enabled`], so a sink only ever sees events somebody asked for).
+pub trait TraceSink: Send + Sync {
+    /// Records one event. `args` is borrowed; sinks copy what they keep.
+    fn record(
+        &self,
+        ph: TracePhase,
+        name: &'static str,
+        cat: &'static str,
+        args: &[(&'static str, f64)],
+    );
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<Arc<dyn TraceSink>>> = Mutex::new(None);
+
+/// Is a sink installed? One relaxed atomic load; the whole cost of the
+/// instrumentation when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a process-global sink. Replaces any previous sink.
+pub fn install(sink: Arc<dyn TraceSink>) {
+    if let Ok(mut guard) = SINK.lock() {
+        *guard = Some(sink);
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Removes the sink; subsequent events hit the disabled fast path.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    if let Ok(mut guard) = SINK.lock() {
+        *guard = None;
+    }
+}
+
+/// Events delivered to any sink since process start — a cheap handle for
+/// tests asserting the disabled path stays silent.
+pub fn events_recorded() -> u64 {
+    RECORDED.load(Ordering::Relaxed)
+}
+
+fn with_sink(f: impl FnOnce(&dyn TraceSink)) {
+    if !enabled() {
+        return;
+    }
+    let sink = match SINK.lock() {
+        Ok(guard) => guard.clone(),
+        Err(_) => None,
+    };
+    if let Some(s) = sink {
+        RECORDED.fetch_add(1, Ordering::Relaxed);
+        f(&*s);
+    }
+}
+
+/// An RAII span: `B` on creation, `E` on drop, both suppressed when no
+/// sink was installed at creation time.
+#[must_use = "a span traces the scope it is alive for"]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    armed: bool,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            with_sink(|s| s.record(TracePhase::End, self.name, self.cat, &[]));
+        }
+    }
+}
+
+/// Opens a span. Zero-cost (a bool check, no allocation) when disabled.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    let armed = enabled();
+    if armed {
+        with_sink(|s| s.record(TracePhase::Begin, name, cat, &[]));
+    }
+    Span { name, cat, armed }
+}
+
+/// Emits an instant event with numeric arguments.
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str, args: &[(&'static str, f64)]) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|s| s.record(TracePhase::Instant, name, cat, args));
+}
+
+/// Emits a counter sample (rendered as a stacked chart by trace viewers).
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|s| s.record(TracePhase::Counter, name, "counter", &[("value", value)]));
+}
+
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// The in-memory sink: timestamps events against its construction epoch
+/// and exports them as Chrome trace-event JSON.
+pub struct Recorder {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder whose epoch is "now".
+    pub fn new() -> Recorder {
+        Recorder {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A snapshot of the recorded events, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    /// Renders the buffer in the Chrome trace-event format (JSON object
+    /// form, loadable in `about://tracing` and Perfetto). Spans come out
+    /// as `B`/`E` pairs, instants as `i` with thread scope, counters as
+    /// `C` samples.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut arr = Vec::with_capacity(events.len());
+        for e in &events {
+            let mut fields = vec![
+                ("name".to_string(), Json::str(e.name)),
+                ("cat".to_string(), Json::str(e.cat)),
+                ("ph".to_string(), Json::str(e.ph.chrome())),
+                ("ts".to_string(), Json::UInt(e.ts_us)),
+                ("pid".to_string(), Json::UInt(1)),
+                ("tid".to_string(), Json::UInt(e.tid)),
+            ];
+            if e.ph == TracePhase::Instant {
+                fields.push(("s".to_string(), Json::str("t")));
+            }
+            if !e.args.is_empty() {
+                let args = e
+                    .args
+                    .iter()
+                    .map(|(k, v)| {
+                        let val = if v.is_finite() {
+                            Json::Num(*v)
+                        } else {
+                            Json::Null
+                        };
+                        (k.to_string(), val)
+                    })
+                    .collect();
+                fields.push(("args".to_string(), Json::Obj(args)));
+            }
+            arr.push(Json::Obj(fields));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(arr)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+        .render()
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(
+        &self,
+        ph: TracePhase,
+        name: &'static str,
+        cat: &'static str,
+        args: &[(&'static str, f64)],
+    ) {
+        let ev = TraceEvent {
+            name,
+            cat,
+            ph,
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+            tid: current_tid(),
+            args: args.to_vec(),
+        };
+        if let Ok(mut buf) = self.events.lock() {
+            buf.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink registry is process-global; tests that install one must
+    // not interleave. (Integration-level exporter tests live in the root
+    // crate's `tests/observability.rs` under the same discipline.)
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        let _g = GATE.lock().unwrap();
+        uninstall();
+        let before = events_recorded();
+        {
+            let _s = span("quiet", "test");
+            instant("quiet.i", "test", &[("n", 1.0)]);
+            counter("quiet.c", 2.0);
+        }
+        assert_eq!(events_recorded(), before);
+    }
+
+    #[test]
+    fn recorder_pairs_spans_and_exports_chrome_events() {
+        let _g = GATE.lock().unwrap();
+        let rec = Arc::new(Recorder::new());
+        install(rec.clone());
+        {
+            let _outer = span("outer", "test");
+            let _inner = span("inner", "test");
+            counter("bytes", 42.0);
+        }
+        uninstall();
+        let evs = rec.events();
+        let phs: Vec<TracePhase> = evs.iter().map(|e| e.ph).collect();
+        assert_eq!(
+            phs,
+            vec![
+                TracePhase::Begin,
+                TracePhase::Begin,
+                TracePhase::Counter,
+                TracePhase::End,
+                TracePhase::End
+            ]
+        );
+        // Inner closes before outer (drop order).
+        assert_eq!(evs[3].name, "inner");
+        assert_eq!(evs[4].name, "outer");
+        let json = rec.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\":\"B\""), "{json}");
+        assert!(json.contains("\"args\":{\"value\":42}"), "{json}");
+    }
+
+    #[test]
+    fn span_created_before_install_never_emits_its_end() {
+        let _g = GATE.lock().unwrap();
+        uninstall();
+        let s = span("pre", "test");
+        let rec = Arc::new(Recorder::new());
+        install(rec.clone());
+        drop(s); // was created unarmed; must stay silent
+        uninstall();
+        assert!(rec.events().is_empty());
+    }
+}

@@ -23,6 +23,13 @@
 //!   --seed=N                PRNG seed for stress schedules (default
 //!                           0x704110E5); same seed ⇒ same schedule ⇒
 //!                           same outcome
+//!   --profile[=PATH]        record a Chrome trace (pipeline phases, GC
+//!                           pauses, machine counters) to PATH (default
+//!                           rml-trace.json); load in about://tracing
+//!                           or Perfetto
+//!   --metrics               print the unified metrics snapshot (phase
+//!                           times, store counters, heap stats, GC pause
+//!                           percentiles) after the run
 //! ```
 //!
 //! Compile and check errors are rendered as source-located diagnostics
@@ -30,8 +37,11 @@
 //! render through the same path as the `E0005` family.
 
 use rml::{
-    check, check_full, compile, compile_with_basis, emit_ir, execute, load_ir, ExecOpts, Strategy,
+    check, check_full, compile, compile_with_basis, emit_ir, execute, load_ir, ExecOpts,
+    MetricsSnapshot, Strategy,
 };
+use rml_session::trace;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -39,9 +49,38 @@ fn usage() -> ! {
          [--print-term] [--print-schemes] [--check] [--check-full] \
          [--emit=ir] [-o <file>] [--stats] [--torture] [--gc-stress=N] \
          [--alloc-budget=N] [--depth-limit=N] [--seed=N] \
+         [--profile[=PATH]] [--metrics] \
          (<file.rml> | -e <expr> | --load-ir <file.ir>)"
     );
     std::process::exit(2)
+}
+
+/// Parses the numeric value of a `--flag=N` argument. A present but
+/// unparsable value is a hard error (exit 2), never a silent fallback —
+/// `--gc-stress=1k` must not quietly run without stress.
+fn parse_num(a: &str) -> u64 {
+    let (flag, v) = a.split_once('=').unwrap_or((a, ""));
+    match v.parse() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("rmlc: invalid value for {flag}: `{v}` is not a number ({e})");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// Writes the recorded Chrome trace, when profiling was requested.
+fn write_profile(recorder: &Option<(Arc<trace::Recorder>, String)>) {
+    if let Some((rec, path)) = recorder {
+        let json = rec.to_chrome_json();
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("rmlc: wrote {} trace events to {path}", rec.events().len()),
+            Err(e) => {
+                eprintln!("rmlc: cannot write trace to {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
 }
 
 fn main() {
@@ -64,11 +103,8 @@ fn main() {
     let mut alloc_budget: Option<u64> = None;
     let mut depth_limit: Option<usize> = None;
     let mut seed: u64 = 0x7041_10E5;
-    // `--flag=N` numeric arguments.
-    let num = |a: &str| -> Option<u64> {
-        let (_, v) = a.split_once('=')?;
-        v.parse().ok()
-    };
+    let mut profile: Option<String> = None;
+    let mut metrics = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strategy" => {
@@ -91,20 +127,29 @@ fn main() {
             "--stats" => stats = true,
             "--torture" => torture = true,
             "-e" => expr = Some(args.next().unwrap_or_else(|| usage())),
-            s if s.starts_with("--gc-stress=") => {
-                gc_stress = Some(num(s).unwrap_or_else(|| usage()))
+            s if s.starts_with("--gc-stress=") => gc_stress = Some(parse_num(s)),
+            s if s.starts_with("--alloc-budget=") => alloc_budget = Some(parse_num(s)),
+            s if s.starts_with("--depth-limit=") => depth_limit = Some(parse_num(s) as usize),
+            s if s.starts_with("--seed=") => seed = parse_num(s),
+            "--profile" => profile = Some("rml-trace.json".to_string()),
+            s if s.starts_with("--profile=") => {
+                let (_, p) = s.split_once('=').unwrap_or(("", ""));
+                if p.is_empty() {
+                    eprintln!("rmlc: --profile= requires a path");
+                    std::process::exit(2)
+                }
+                profile = Some(p.to_string())
             }
-            s if s.starts_with("--alloc-budget=") => {
-                alloc_budget = Some(num(s).unwrap_or_else(|| usage()))
-            }
-            s if s.starts_with("--depth-limit=") => {
-                depth_limit = Some(num(s).unwrap_or_else(|| usage()) as usize)
-            }
-            s if s.starts_with("--seed=") => seed = num(s).unwrap_or_else(|| usage()),
+            "--metrics" => metrics = true,
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => usage(),
         }
     }
+    let recorder: Option<(Arc<trace::Recorder>, String)> = profile.map(|path| {
+        let rec = Arc::new(trace::Recorder::new());
+        trace::install(rec.clone());
+        (rec, path)
+    });
     if torture {
         // The oracle compiles all three strategies itself, so it needs
         // source input, not pre-strategy serialized IR.
@@ -130,6 +175,7 @@ fn main() {
         match rml::torture::torture(&name, &src, &topts) {
             Ok(rep) => {
                 print!("{}", rep.render());
+                write_profile(&recorder);
                 std::process::exit(i32::from(!rep.ok()))
             }
             Err(e) => {
@@ -139,6 +185,7 @@ fn main() {
                     src
                 };
                 eprint!("{}", e.render(&full, &name));
+                write_profile(&recorder);
                 std::process::exit(1)
             }
         }
@@ -216,6 +263,7 @@ fn main() {
             }
         }
         if !emit_ir_flag {
+            write_profile(&recorder);
             return; // checking mode: don't run the program
         }
     }
@@ -227,6 +275,7 @@ fn main() {
             std::process::exit(1)
         });
         eprintln!("rmlc: wrote {} bytes of IR to {out}", bytes.len());
+        write_profile(&recorder);
         return;
     }
     let opts = ExecOpts {
@@ -240,6 +289,12 @@ fn main() {
         Ok(out) => {
             print!("{}", out.output);
             println!("{}", out.value);
+            if metrics {
+                let snap =
+                    MetricsSnapshot::new(&compiled.timings, compiled.output.store_stats, &out);
+                print!("{}", snap.render_text());
+            }
+            write_profile(&recorder);
             if stats {
                 eprintln!(
                     "steps {}  alloc {}B  peak {}B  regions {}  gc {} \
@@ -264,6 +319,7 @@ fn main() {
                 e.to_diagnostic()
                     .render(&rml::SourceMap::new(&compiled.source), &src_name)
             );
+            write_profile(&recorder);
             std::process::exit(1)
         }
     }

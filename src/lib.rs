@@ -30,17 +30,19 @@
 //! ```
 
 pub mod basis;
+pub mod metrics;
 pub mod pipeline;
 pub mod programs;
 pub mod torture;
 
+pub use metrics::{MetricsSnapshot, PauseHistogram};
 pub use pipeline::{
     check, check_diag, check_full, compile, compile_count, compile_with_basis, emit_ir, execute,
     load_ir, CompileError, CompileTimings, Compiled, ExecOpts,
 };
 pub use rml_eval::{RunOutcome, RunValue};
 pub use rml_infer::{SpuriousStyle, Strategy};
-pub use rml_session::{Diagnostic, SourceMap, Span};
+pub use rml_session::{Diagnostic, Json, SourceMap, Span};
 
 /// Runs `f` on a thread with a 64 MiB stack. The recursive passes over
 /// basis-sized terms exceed the default 2 MiB test-thread stack in

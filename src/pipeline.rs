@@ -4,7 +4,7 @@
 use rml_eval::{GcPolicy, RunError, RunOpts, RunOutcome};
 use rml_infer::{Options, SpuriousStyle, Strategy};
 use rml_repr::ReprInfo;
-use rml_session::{Diagnostic, SourceMap};
+use rml_session::{trace, Diagnostic, SourceMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -20,7 +20,7 @@ pub fn compile_count() -> u64 {
 }
 
 /// Wall-clock time spent in each compilation phase.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CompileTimings {
     /// Lexing + parsing.
     pub parse: Duration,
@@ -113,21 +113,29 @@ pub fn compile_opts(
     strategy: Strategy,
     style: SpuriousStyle,
 ) -> Result<Compiled, CompileError> {
+    let _compile_span = trace::span("compile", "pipeline");
     let start = Instant::now();
-    let prog = rml_syntax::parse_program(src).map_err(|e| {
-        CompileError::Parse(Diagnostic::error("E0001", e.msg.clone()).with_primary(e.span))
-    })?;
+    let prog = {
+        let _s = trace::span("parse", "pipeline");
+        rml_syntax::parse_program(src).map_err(|e| {
+            CompileError::Parse(Diagnostic::error("E0001", e.msg.clone()).with_primary(e.span))
+        })?
+    };
     let parse = start.elapsed();
     let t = Instant::now();
-    let typed = rml_hm::infer_program(&prog).map_err(|e| {
-        let mut d = Diagnostic::error("E0002", format!("type error: {}", e.msg));
-        if let Some(sp) = e.span {
-            d = d.with_primary(sp);
-        }
-        CompileError::Type(d)
-    })?;
+    let typed = {
+        let _s = trace::span("hm-typing", "pipeline");
+        rml_hm::infer_program(&prog).map_err(|e| {
+            let mut d = Diagnostic::error("E0002", format!("type error: {}", e.msg));
+            if let Some(sp) = e.span {
+                d = d.with_primary(sp);
+            }
+            CompileError::Type(d)
+        })?
+    };
     let types = t.elapsed();
     let t = Instant::now();
+    // rml_infer::infer opens its own "region-inference" span.
     let output = rml_infer::infer(&typed, Options { strategy, style }).map_err(|e| {
         CompileError::Region(Diagnostic::error(
             "E0003",
@@ -136,7 +144,10 @@ pub fn compile_opts(
     })?;
     let regions = t.elapsed();
     let t = Instant::now();
-    let repr = rml_repr::analyze(&output.term);
+    let repr = {
+        let _s = trace::span("repr-analysis", "pipeline");
+        rml_repr::analyze(&output.term)
+    };
     let repr_time = t.elapsed();
     COMPILES.fetch_add(1, Ordering::Relaxed);
     Ok(Compiled {

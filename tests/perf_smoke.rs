@@ -52,3 +52,38 @@ fn suite_compilation_stays_within_the_find_ops_budget() {
          recomputes; did store invalidation regress to global flushes?"
     );
 }
+
+/// The disabled-sink overhead guard: with tracing compiled in but no sink
+/// installed, an instrumented compile-and-run must deliver **zero** events
+/// to any sink — the contract that makes instrumenting hot paths (the
+/// machine's step loop, the collector) free when nobody is profiling.
+///
+/// This runs in its own test binary process space alongside the tests
+/// above, none of which install a sink, so the process-wide counter
+/// staying flat is exactly the property wanted.
+#[test]
+fn disabled_sink_records_nothing_across_an_instrumented_run() {
+    use rml::{execute, ExecOpts};
+    let before = rml_session::trace::events_recorded();
+    assert!(!rml_session::trace::enabled());
+    let steps = rml::run_with_big_stack(|| {
+        let src = "fun main () = \
+                   let fun loop (n) = if n = 0 then 0 else loop (n - 1) \
+                   in loop 2000 end";
+        let c = compile_with_basis(src, Strategy::Rg).unwrap();
+        let opts = ExecOpts {
+            gc: Some(rml_eval::GcPolicy::stress_every(64, 1)),
+            ..ExecOpts::default()
+        };
+        execute(&c, &opts).unwrap().steps
+    });
+    assert!(
+        steps > 4096,
+        "run long enough to cross a step-batch boundary"
+    );
+    assert_eq!(
+        rml_session::trace::events_recorded(),
+        before,
+        "instrumentation must be silent with no sink installed"
+    );
+}
