@@ -71,6 +71,11 @@ pub struct Machine {
     pub regions: Regions,
     /// The reference store.
     pub store: Vec<Value>,
+    /// The region each store cell was allocated in, parallel to
+    /// [`Machine::store`]. The paper's store is region-partitioned: a
+    /// cell lives in its region and is deallocated with it, so the
+    /// containment monitor only constrains cells whose region is live.
+    pub store_regions: Vec<RegVar>,
     /// Accumulated `print` output.
     pub output: String,
     /// Number of reduction steps taken.
@@ -89,6 +94,23 @@ enum Step {
 }
 
 type SResult = Result<Step, EvalError>;
+
+/// The observable outcome of one public [`Machine::step`].
+///
+/// Exposing single steps (rather than only [`Machine::eval`]) is what
+/// lets the metatheory tests re-run the Figure 4 checker on the
+/// *intermediate* terms of an evaluation — type preservation
+/// (Proposition 18) is a statement about every `e_i` in
+/// `e_0 --> e_1 --> ...`, not just about `e_0`.
+#[derive(Debug, Clone)]
+pub enum StepResult {
+    /// The term is a value: evaluation is complete.
+    Done(Value),
+    /// A raised exception escaped to the top level.
+    Raised(Value),
+    /// One reduction `e --φ--> e'` happened; continue from `e'`.
+    Next(Term),
+}
 
 impl Machine {
     /// Creates a machine with a set of pre-allocated (global) regions.
@@ -119,26 +141,45 @@ impl Machine {
     pub fn eval(&mut self, e: Term, fuel: u64) -> Result<Value, EvalError> {
         let mut cur = e;
         for _ in 0..fuel {
-            let phi = self.regions.clone();
-            match self.step_in(cur, &phi)? {
-                Step::IsValue(v) => return Ok(v),
-                Step::Raising(v) => {
+            match self.step(cur)? {
+                StepResult::Done(v) => return Ok(v),
+                StepResult::Raised(v) => {
                     let name = match &v {
                         Value::ExnVal { name, .. } => name.to_string(),
                         other => format!("{other:?}"),
                     };
                     return Err(EvalError::UncaughtException(name));
                 }
-                Step::Reduced(e2) => {
-                    self.steps += 1;
-                    if self.monitor {
-                        self.check_containment(&e2)?;
-                    }
-                    cur = e2;
-                }
+                StepResult::Next(e2) => cur = e2,
             }
         }
         Err(EvalError::OutOfFuel)
+    }
+
+    /// Performs exactly one reduction step `e --φ--> e'` with `φ` the
+    /// machine's global regions (rule \[Ctx\] extends `φ` internally at
+    /// each `letregion`), returning the reduct so callers can inspect —
+    /// or re-typecheck — every intermediate term. Runs the Theorem 2
+    /// containment monitor after the step when [`Machine::monitor`] is
+    /// set. [`Machine::eval`] is this in a fuel loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on dangling-region access, stuck terms, or
+    /// monitor violations.
+    pub fn step(&mut self, e: Term) -> Result<StepResult, EvalError> {
+        let phi = self.regions.clone();
+        match self.step_in(e, &phi)? {
+            Step::IsValue(v) => Ok(StepResult::Done(v)),
+            Step::Raising(v) => Ok(StepResult::Raised(v)),
+            Step::Reduced(e2) => {
+                self.steps += 1;
+                if self.monitor {
+                    self.check_containment(&e2)?;
+                }
+                Ok(StepResult::Next(e2))
+            }
+        }
     }
 
     /// The Theorem 2 monitor: `φ |=c e` plus store containment.
@@ -154,6 +195,11 @@ impl Machine {
         let mut all = self.regions.clone();
         collect_letregion_binders(e, &mut all);
         for (i, v) in self.store.iter().enumerate() {
+            // A cell deallocated with its region is no longer part of the
+            // store; only cells in live regions constrain containment.
+            if !all.contains(&self.store_regions[i]) {
+                continue;
+            }
             if !value_contained(&all, v) {
                 return Err(EvalError::ContainmentViolation(format!(
                     "store location {i} refers to a deallocated region"
@@ -289,6 +335,7 @@ impl Machine {
                             },
                         );
                     }
+                    complete_rec_ty_insts(&mut body2, &inst);
                     Ok(Reduced(Term::Lam {
                         param: def.param,
                         ann: Mu::Boxed(Box::new(tau), at),
@@ -411,6 +458,7 @@ impl Machine {
                 Ok(v) => {
                     self.require(phi, r, "ref allocation")?;
                     self.store.push(v);
+                    self.store_regions.push(r);
                     Ok(Reduced(Term::Val(Value::RefLoc(self.store.len() - 1, r))))
                 }
                 Err(step) => Ok(rebuild(step, |e2| Term::RefNew(Box::new(e2), r))),
@@ -750,6 +798,96 @@ fn freshen_letregions(e: &Term) -> Term {
 }
 
 /// If the term is `raise v` for a value `v`, returns the value.
+/// Completes the type instantiations of recursive call sites in an
+/// unfolded `fix` body.
+///
+/// Monomorphic type recursion elaborates a recursive `RApp` with an empty
+/// `Sᵗ` — the group's type variables are bound once, around the whole
+/// `fix`, so a recursive call instantiates regions and effects only. Once
+/// \[Rapp\] closes an unfolding over those variables, each recursive site
+/// (now a region application of a `FixClos` *value*, whose scheme
+/// re-binds the full ∆) must record the type instances the unfolding was
+/// driven with, or the residual term no longer satisfies the coverage
+/// condition of Figure 4 — this is the substitution lemma behind type
+/// preservation (Proposition 18) made computational.
+fn complete_rec_ty_insts(e: &mut Term, outer: &Subst) {
+    if outer.ty.is_empty() {
+        return; // type-monomorphic group: nothing to record
+    }
+    match e {
+        Term::Var(_) | Term::Unit | Term::Int(_) | Term::Bool(_) | Term::Nil(_) | Term::Str(..) => {
+        }
+        // Values are closed and check under their own ∆; recursive sites
+        // inside `FixClos` definition bodies use the monomorphised
+        // recursion variable and must stay as elaborated.
+        Term::Val(_) => {}
+        Term::RApp { f, inst, .. } => {
+            if let Term::Val(Value::FixClos { defs, index, .. }) = f.as_ref() {
+                for (a, _) in &defs[*index].scheme.delta {
+                    if !inst.ty.contains_key(a) {
+                        if let Some(m) = outer.ty.get(a) {
+                            inst.ty.insert(*a, m.clone());
+                        }
+                    }
+                }
+            } else {
+                complete_rec_ty_insts(f, outer);
+            }
+        }
+        Term::Lam { body, .. } => complete_rec_ty_insts(body, outer),
+        Term::Fix { defs, .. } => {
+            for d in std::rc::Rc::make_mut(defs).iter_mut() {
+                complete_rec_ty_insts(&mut d.body, outer);
+            }
+        }
+        Term::App(a, b) | Term::Assign(a, b) => {
+            complete_rec_ty_insts(a, outer);
+            complete_rec_ty_insts(b, outer);
+        }
+        Term::Let { rhs, body, .. } => {
+            complete_rec_ty_insts(rhs, outer);
+            complete_rec_ty_insts(body, outer);
+        }
+        Term::Letregion { body, .. } => complete_rec_ty_insts(body, outer),
+        Term::Pair(a, b, _) | Term::Cons(a, b, _) => {
+            complete_rec_ty_insts(a, outer);
+            complete_rec_ty_insts(b, outer);
+        }
+        Term::Sel(_, a) | Term::Deref(a) | Term::RefNew(a, _) | Term::Raise(a, _) => {
+            complete_rec_ty_insts(a, outer);
+        }
+        Term::If(a, b, c) => {
+            complete_rec_ty_insts(a, outer);
+            complete_rec_ty_insts(b, outer);
+            complete_rec_ty_insts(c, outer);
+        }
+        Term::Prim(_, args, _) => {
+            for a in args {
+                complete_rec_ty_insts(a, outer);
+            }
+        }
+        Term::CaseList {
+            scrut,
+            nil_rhs,
+            cons_rhs,
+            ..
+        } => {
+            complete_rec_ty_insts(scrut, outer);
+            complete_rec_ty_insts(nil_rhs, outer);
+            complete_rec_ty_insts(cons_rhs, outer);
+        }
+        Term::Exn { arg, .. } => {
+            if let Some(a) = arg {
+                complete_rec_ty_insts(a, outer);
+            }
+        }
+        Term::Handle { body, handler, .. } => {
+            complete_rec_ty_insts(body, outer);
+            complete_rec_ty_insts(handler, outer);
+        }
+    }
+}
+
 fn raise_value(e: &Term) -> Option<&Value> {
     match e {
         Term::Raise(inner, _) => match &**inner {

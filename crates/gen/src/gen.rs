@@ -1,0 +1,966 @@
+//! The type-directed program generator.
+//!
+//! [`generate`] builds a whole [`Program`] from a `(seed, fuel)` pair:
+//! a set of polymorphic combinator declarations (emitted only when the
+//! generated code actually uses them, so batch statistics measure real
+//! bias), optional exception declarations and monomorphic helpers, and a
+//! `fun main () = <int expr>` whose body is generated against target
+//! types drawn from a small grammar.
+//!
+//! Every production is *type-directed*: `expr(env, ty, depth)` returns
+//! an expression of exactly `ty` under `env`, so the result is
+//! well-typed by construction. Randomness comes exclusively from the
+//! seeded [`Xorshift64`]; `fuel` bounds the number of generated nodes.
+
+use rml_runtime::Xorshift64;
+use rml_syntax::ast::PrimOp;
+use rml_syntax::{Decl, Expr, ExprKind, FunBind, Program, Span, Symbol, TyAnn};
+
+/// Generator options. `(seed, fuel)` fully determines the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenOpts {
+    /// PRNG seed (the whole program is a pure function of this and
+    /// `fuel`).
+    pub seed: u64,
+    /// Node budget: roughly the number of non-leaf expression nodes the
+    /// generator may spend. 30–60 gives programs of a few hundred AST
+    /// nodes; the `RML_GEN_FUEL` environment variable feeds this in the
+    /// drivers.
+    pub fuel: u32,
+}
+
+impl Default for GenOpts {
+    fn default() -> GenOpts {
+        GenOpts { seed: 1, fuel: 40 }
+    }
+}
+
+/// The generator's type grammar (the source language's monotypes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GTy {
+    Int,
+    Bool,
+    Str,
+    Unit,
+    Pair(Box<GTy>, Box<GTy>),
+    List(Box<GTy>),
+    Ref(Box<GTy>),
+    Arrow(Box<GTy>, Box<GTy>),
+}
+
+/// The polymorphic combinator templates. Each registered combinator is
+/// emitted once as a top-level `fun` declaration and may be instantiated
+/// at many types — that is the let-polymorphism (and, for [`Comb::Compose`],
+/// the spurious-type-variable) generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Comb {
+    /// `fun zid x = x` : `'a -> 'a`
+    Id,
+    /// `fun zk x y = x` : `'a -> 'b -> 'a` (the second argument is dead)
+    Konst,
+    /// `fun zc p = fn a => (#1 p) ((#2 p) a)` :
+    /// `('b -> 'c) * ('a -> 'b) -> 'a -> 'c`. The returned closure
+    /// captures `p`, whose type mentions `'b` while the closure's own
+    /// type does not: `'b` is *spurious* (paper Section 4), and the
+    /// generator biases its instantiation toward boxed types.
+    Compose,
+    /// `fun zt f x = f (f x)` : `('a -> 'a) -> 'a -> 'a`
+    Twice,
+    /// `fun zfst p = #1 p` : `'a * 'b -> 'a`
+    Fst,
+    /// `fun zsnd p = #2 p` : `'a * 'b -> 'b`
+    Snd,
+    /// `fun zm f xs = case xs of nil => nil | h :: t => f h :: zm f t` :
+    /// `('a -> 'b) -> 'a list -> 'b list` (region-polymorphic recursion)
+    MapList,
+    /// `fun za p = case #1 p of nil => #2 p | h :: t => h :: za (t, #2 p)` :
+    /// `'a list * 'a list -> 'a list`
+    Append,
+    /// `fun zln xs = case xs of nil => 0 | h :: t => 1 + zln t` :
+    /// `'a list -> int`
+    Len,
+    /// `fun zs xs = case xs of nil => 0 | h :: t => h + zs t` :
+    /// `int list -> int` (monomorphic consumer)
+    Sum,
+    /// `fun zlp n = if n < 1 then 0 else n + zlp (n - 1)` : `int -> int`
+    /// (structurally decreasing, so calls with bounded arguments halt)
+    Loop,
+    /// `fun zb n = if n < 1 then nil else n :: zb (n - 1)` :
+    /// `int -> int list`
+    Build,
+}
+
+impl Comb {
+    fn name(self) -> &'static str {
+        match self {
+            Comb::Id => "zid",
+            Comb::Konst => "zk",
+            Comb::Compose => "zc",
+            Comb::Twice => "zt",
+            Comb::Fst => "zfst",
+            Comb::Snd => "zsnd",
+            Comb::MapList => "zm",
+            Comb::Append => "za",
+            Comb::Len => "zln",
+            Comb::Sum => "zs",
+            Comb::Loop => "zlp",
+            Comb::Build => "zb",
+        }
+    }
+}
+
+// --- small AST builders -------------------------------------------------
+
+fn e(kind: ExprKind) -> Expr {
+    kind.into()
+}
+
+fn var(name: &str) -> Expr {
+    e(ExprKind::Var(Symbol::intern(name)))
+}
+
+fn app(f: Expr, a: Expr) -> Expr {
+    e(ExprKind::App(Box::new(f), Box::new(a)))
+}
+
+fn app2(f: Expr, a: Expr, b: Expr) -> Expr {
+    app(app(f, a), b)
+}
+
+fn int(n: i64) -> Expr {
+    e(ExprKind::Int(n))
+}
+
+fn pair(a: Expr, b: Expr) -> Expr {
+    e(ExprKind::Pair(Box::new(a), Box::new(b)))
+}
+
+fn lam(p: &str, body: Expr) -> Expr {
+    e(ExprKind::Lam {
+        param: Symbol::intern(p),
+        ann: None,
+        body: Box::new(body),
+    })
+}
+
+fn prim(op: PrimOp, args: Vec<Expr>) -> Expr {
+    e(ExprKind::Prim(op, args))
+}
+
+fn fun_bind(name: &str, params: &[&str], body: Expr) -> FunBind {
+    FunBind {
+        name: Symbol::intern(name),
+        params: params.iter().map(|p| (Symbol::intern(p), None)).collect(),
+        ret: None,
+        body,
+        span: Span::DUMMY,
+    }
+}
+
+/// The combinator's top-level declaration.
+fn comb_decl(c: Comb) -> Decl {
+    let b = match c {
+        Comb::Id => fun_bind("zid", &["x"], var("x")),
+        Comb::Konst => fun_bind("zk", &["x", "y"], var("x")),
+        Comb::Compose => fun_bind(
+            "zc",
+            &["p"],
+            lam(
+                "a",
+                app(
+                    e(ExprKind::Sel(1, Box::new(var("p")))),
+                    app(e(ExprKind::Sel(2, Box::new(var("p")))), var("a")),
+                ),
+            ),
+        ),
+        Comb::Twice => fun_bind("zt", &["f", "x"], app(var("f"), app(var("f"), var("x")))),
+        Comb::Fst => fun_bind("zfst", &["p"], e(ExprKind::Sel(1, Box::new(var("p"))))),
+        Comb::Snd => fun_bind("zsnd", &["p"], e(ExprKind::Sel(2, Box::new(var("p"))))),
+        Comb::MapList => fun_bind(
+            "zm",
+            &["f", "xs"],
+            e(ExprKind::CaseList {
+                scrut: Box::new(var("xs")),
+                nil_rhs: Box::new(e(ExprKind::Nil)),
+                head: Symbol::intern("h"),
+                tail: Symbol::intern("t"),
+                cons_rhs: Box::new(e(ExprKind::Cons(
+                    Box::new(app(var("f"), var("h"))),
+                    Box::new(app2(var("zm"), var("f"), var("t"))),
+                ))),
+            }),
+        ),
+        Comb::Append => fun_bind(
+            "za",
+            &["p"],
+            e(ExprKind::CaseList {
+                scrut: Box::new(e(ExprKind::Sel(1, Box::new(var("p"))))),
+                nil_rhs: Box::new(e(ExprKind::Sel(2, Box::new(var("p"))))),
+                head: Symbol::intern("h"),
+                tail: Symbol::intern("t"),
+                cons_rhs: Box::new(e(ExprKind::Cons(
+                    Box::new(var("h")),
+                    Box::new(app(
+                        var("za"),
+                        pair(var("t"), e(ExprKind::Sel(2, Box::new(var("p"))))),
+                    )),
+                ))),
+            }),
+        ),
+        Comb::Len => fun_bind(
+            "zln",
+            &["xs"],
+            e(ExprKind::CaseList {
+                scrut: Box::new(var("xs")),
+                nil_rhs: Box::new(int(0)),
+                head: Symbol::intern("h"),
+                tail: Symbol::intern("t"),
+                cons_rhs: Box::new(prim(PrimOp::Add, vec![int(1), app(var("zln"), var("t"))])),
+            }),
+        ),
+        Comb::Sum => fun_bind(
+            "zs",
+            &["xs"],
+            e(ExprKind::CaseList {
+                scrut: Box::new(var("xs")),
+                nil_rhs: Box::new(int(0)),
+                head: Symbol::intern("h"),
+                tail: Symbol::intern("t"),
+                cons_rhs: Box::new(prim(PrimOp::Add, vec![var("h"), app(var("zs"), var("t"))])),
+            }),
+        ),
+        Comb::Loop => fun_bind(
+            "zlp",
+            &["n"],
+            e(ExprKind::If(
+                Box::new(prim(PrimOp::Lt, vec![var("n"), int(1)])),
+                Box::new(int(0)),
+                Box::new(prim(
+                    PrimOp::Add,
+                    vec![
+                        var("n"),
+                        app(var("zlp"), prim(PrimOp::Sub, vec![var("n"), int(1)])),
+                    ],
+                )),
+            )),
+        ),
+        Comb::Build => fun_bind(
+            "zb",
+            &["n"],
+            e(ExprKind::If(
+                Box::new(prim(PrimOp::Lt, vec![var("n"), int(1)])),
+                Box::new(e(ExprKind::Nil)),
+                Box::new(e(ExprKind::Cons(
+                    Box::new(var("n")),
+                    Box::new(app(var("zb"), prim(PrimOp::Sub, vec![var("n"), int(1)]))),
+                ))),
+            )),
+        ),
+    };
+    Decl::Fun(vec![b])
+}
+
+// --- the generator ------------------------------------------------------
+
+const MAX_DEPTH: u32 = 9;
+const STRINGS: &[&str] = &["", "a", "gc", "oh", "no", "zz", "rml"];
+
+struct Gen {
+    rng: Xorshift64,
+    fuel: i64,
+    next_name: u32,
+    /// Combinators in first-use order (emitted before `main`).
+    combos: Vec<Comb>,
+    /// Declared exception constructors (argument type `int`).
+    exns: Vec<Symbol>,
+}
+
+type Env = Vec<(Symbol, GTy)>;
+
+impl Gen {
+    fn new(opts: &GenOpts) -> Gen {
+        Gen {
+            rng: Xorshift64::new(opts.seed),
+            fuel: i64::from(opts.fuel),
+            next_name: 0,
+            combos: Vec::new(),
+            exns: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> Symbol {
+        let n = self.next_name;
+        self.next_name += 1;
+        Symbol::intern(&format!("{prefix}{n}"))
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.rng.next_below(n)
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.rng.chance(num, den)
+    }
+
+    /// Registers a combinator on first use; returns its name.
+    fn comb(&mut self, c: Comb) -> Expr {
+        if !self.combos.contains(&c) {
+            self.combos.push(c);
+        }
+        var(c.name())
+    }
+
+    /// Registers (or reuses) an `exception zeN of int` declaration.
+    fn exn(&mut self) -> Symbol {
+        if self.exns.is_empty() || (self.exns.len() < 2 && self.chance(1, 3)) {
+            let s = self.fresh("ze");
+            self.exns.push(s);
+            s
+        } else {
+            let i = self.pick(self.exns.len() as u64) as usize;
+            self.exns[i]
+        }
+    }
+
+    /// A random target type, depth-bounded.
+    fn rty(&mut self, depth: u32) -> GTy {
+        let compound = depth < 2;
+        let w = if compound { 17 } else { 10 };
+        match self.pick(w) {
+            0..=3 => GTy::Int,
+            4..=5 => GTy::Bool,
+            6..=8 => GTy::Str,
+            9 => GTy::Unit,
+            10..=11 => GTy::Pair(Box::new(self.rty(depth + 1)), Box::new(self.rty(depth + 1))),
+            12..=13 => GTy::List(Box::new(self.rty(depth + 1))),
+            14 => GTy::Ref(Box::new(self.rty(depth + 1))),
+            _ => GTy::Arrow(Box::new(self.rty(depth + 1)), Box::new(self.rty(depth + 1))),
+        }
+    }
+
+    /// A random *boxed* type — the bias for spurious instantiation
+    /// sites: a spurious type variable only matters to the collector
+    /// when it is instantiated at a boxed (pointer-carrying) type.
+    fn rty_boxed(&mut self, depth: u32) -> GTy {
+        match self.pick(if depth < 2 { 10 } else { 6 }) {
+            0..=3 => GTy::Str,
+            4..=5 => GTy::List(Box::new(GTy::Int)),
+            6..=7 => GTy::Pair(Box::new(self.rty(depth + 1)), Box::new(self.rty(depth + 1))),
+            8 => GTy::Pair(Box::new(GTy::Int), Box::new(GTy::Str)),
+            _ => GTy::Arrow(Box::new(GTy::Int), Box::new(self.rty(depth + 1))),
+        }
+    }
+
+    /// The canonical minimal expression of a type (the fuel-exhausted
+    /// fallback; always closed and allocation-light).
+    fn min_value(&mut self, ty: &GTy) -> Expr {
+        match ty {
+            GTy::Int => int(self.pick(10) as i64),
+            GTy::Bool => e(ExprKind::Bool(self.chance(1, 2))),
+            GTy::Str => {
+                let s = STRINGS[self.pick(STRINGS.len() as u64) as usize];
+                e(ExprKind::Str(s.to_string()))
+            }
+            GTy::Unit => e(ExprKind::Unit),
+            GTy::Pair(a, b) => {
+                let (a, b) = (a.clone(), b.clone());
+                pair(self.min_value(&a), self.min_value(&b))
+            }
+            GTy::List(_) => e(ExprKind::Nil),
+            GTy::Ref(t) => {
+                let t = t.clone();
+                let inner = self.min_value(&t);
+                e(ExprKind::Ref(Box::new(inner)))
+            }
+            GTy::Arrow(_, b) => {
+                let b = b.clone();
+                let body = self.min_value(&b);
+                let p = self.fresh("zp");
+                e(ExprKind::Lam {
+                    param: p,
+                    ann: None,
+                    body: Box::new(body),
+                })
+            }
+        }
+    }
+
+    /// All environment variables of exactly `ty`.
+    fn vars_of<'a>(&self, env: &'a Env, ty: &GTy) -> Vec<&'a Symbol> {
+        env.iter()
+            .filter(|(_, t)| t == ty)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// An expression of type `ty` under `env`.
+    fn expr(&mut self, env: &mut Env, ty: &GTy, depth: u32) -> Expr {
+        self.fuel -= 1;
+        if self.fuel <= 0 || depth >= MAX_DEPTH {
+            // Out of budget: a variable of the right type, else the
+            // minimal value.
+            let vs = self.vars_of(env, ty);
+            if !vs.is_empty() && self.chance(3, 4) {
+                let s = *vs[self.pick(vs.len() as u64) as usize];
+                return e(ExprKind::Var(s));
+            }
+            return self.min_value(ty);
+        }
+
+        // A variable of the right type is always a cheap candidate.
+        let vs = self.vars_of(env, ty);
+        if !vs.is_empty() && self.chance(1, 4) {
+            let s = *vs[self.pick(vs.len() as u64) as usize];
+            return e(ExprKind::Var(s));
+        }
+
+        // General (type-agnostic) productions fire with moderate
+        // probability; otherwise fall through to the type-directed ones.
+        if self.chance(2, 5) {
+            if let Some(ex) = self.general(env, ty, depth) {
+                return ex;
+            }
+        }
+        self.directed(env, ty, depth)
+    }
+
+    /// Type-agnostic productions: lets, conditionals, sequencing,
+    /// application, projections, case analysis, exceptions, and the
+    /// polymorphic-combinator shapes. Returns `None` when the dice land
+    /// on a production that does not apply.
+    fn general(&mut self, env: &mut Env, ty: &GTy, depth: u32) -> Option<Expr> {
+        match self.pick(13) {
+            // let val zvN = e1 in e2 end
+            0 => {
+                let t1 = self.rty(depth + 1);
+                let bound = self.expr(env, &t1, depth + 1);
+                let x = self.fresh("zv");
+                env.push((x, t1));
+                let body = self.expr(env, ty, depth + 1);
+                env.pop();
+                Some(e(ExprKind::Let {
+                    decls: vec![Decl::Val(x, bound)],
+                    body: Box::new(body),
+                }))
+            }
+            // if c then e1 else e2
+            1 => {
+                let c = self.expr(env, &GTy::Bool, depth + 1);
+                let a = self.expr(env, ty, depth + 1);
+                let b = self.expr(env, ty, depth + 1);
+                Some(e(ExprKind::If(Box::new(c), Box::new(a), Box::new(b))))
+            }
+            // (unit; e)
+            2 => {
+                let u = self.expr(env, &GTy::Unit, depth + 1);
+                let b = self.expr(env, ty, depth + 1);
+                Some(e(ExprKind::Seq(Box::new(u), Box::new(b))))
+            }
+            // application at a random argument type
+            3 => {
+                let a = self.rty(depth + 1);
+                let f = self.expr(
+                    env,
+                    &GTy::Arrow(Box::new(a.clone()), Box::new(ty.clone())),
+                    depth + 1,
+                );
+                let x = self.expr(env, &a, depth + 1);
+                Some(app(f, x))
+            }
+            // projection out of a generated pair
+            4 => {
+                let other = self.rty(depth + 1);
+                let first = self.chance(1, 2);
+                let pt = if first {
+                    GTy::Pair(Box::new(ty.clone()), Box::new(other))
+                } else {
+                    GTy::Pair(Box::new(other), Box::new(ty.clone()))
+                };
+                let p = self.expr(env, &pt, depth + 1);
+                Some(e(ExprKind::Sel(if first { 1 } else { 2 }, Box::new(p))))
+            }
+            // case over a generated list
+            5 => {
+                let elem = self.rty(depth + 1);
+                let scrut = self.expr(env, &GTy::List(Box::new(elem.clone())), depth + 1);
+                let nil_rhs = self.expr(env, ty, depth + 1);
+                let h = self.fresh("zv");
+                let t = self.fresh("zv");
+                env.push((h, elem.clone()));
+                env.push((t, GTy::List(Box::new(elem))));
+                let cons_rhs = self.expr(env, ty, depth + 1);
+                env.pop();
+                env.pop();
+                Some(e(ExprKind::CaseList {
+                    scrut: Box::new(scrut),
+                    nil_rhs: Box::new(nil_rhs),
+                    head: h,
+                    tail: t,
+                    cons_rhs: Box::new(cons_rhs),
+                }))
+            }
+            // a raise caught by construction:
+            // (if c then raise (zeN k) else e) handle zeN zvM => e'
+            6 => {
+                let exn = self.exn();
+                let c = self.expr(env, &GTy::Bool, depth + 1);
+                let k = self.expr(env, &GTy::Int, depth + 1);
+                let body = self.expr(env, ty, depth + 1);
+                let x = self.fresh("zv");
+                env.push((x, GTy::Int));
+                let handler = self.expr(env, ty, depth + 1);
+                env.pop();
+                Some(e(ExprKind::Handle {
+                    body: Box::new(e(ExprKind::If(
+                        Box::new(c),
+                        Box::new(e(ExprKind::Raise(Box::new(e(ExprKind::Con(
+                            exn,
+                            Some(Box::new(k)),
+                        )))))),
+                        Box::new(body),
+                    ))),
+                    exn,
+                    arg: x,
+                    handler: Box::new(handler),
+                }))
+            }
+            // !(ref-typed expression)
+            7 => {
+                let r = self.expr(env, &GTy::Ref(Box::new(ty.clone())), depth + 1);
+                Some(e(ExprKind::Deref(Box::new(r))))
+            }
+            // zid instantiated at `ty`
+            8 => {
+                let f = self.comb(Comb::Id);
+                let x = self.expr(env, ty, depth + 1);
+                Some(app(f, x))
+            }
+            // (zk e) dead — the dead argument's type is boxed-biased
+            9 => {
+                let f = self.comb(Comb::Konst);
+                let keep = self.expr(env, ty, depth + 1);
+                let dead_ty = self.rty_boxed(depth + 1);
+                let dead = self.expr(env, &dead_ty, depth + 1);
+                Some(app2(f, keep, dead))
+            }
+            // zt f e — twice at `ty`
+            10 => {
+                let f = self.comb(Comb::Twice);
+                let g = self.expr(
+                    env,
+                    &GTy::Arrow(Box::new(ty.clone()), Box::new(ty.clone())),
+                    depth + 1,
+                );
+                let x = self.expr(env, ty, depth + 1);
+                Some(app2(f, g, x))
+            }
+            // the Figure 1 shape: a composition whose second component
+            // captures a let-bound boxed value that is dead by the time
+            // a forced collection runs, applied after that collection.
+            11 => Some(self.figure1(env, ty, depth)),
+            // zfst/zsnd over a generated pair (polymorphic projection)
+            12 => {
+                let other = self.rty_boxed(depth + 1);
+                let first = self.chance(1, 2);
+                let f = self.comb(if first { Comb::Fst } else { Comb::Snd });
+                let pt = if first {
+                    GTy::Pair(Box::new(ty.clone()), Box::new(other))
+                } else {
+                    GTy::Pair(Box::new(other), Box::new(ty.clone()))
+                };
+                let p = self.expr(env, &pt, depth + 1);
+                Some(app(f, p))
+            }
+            _ => None,
+        }
+    }
+
+    /// The paper's Figure 1, generated:
+    ///
+    /// ```sml
+    /// let val zh = zc ((let val zx = <fresh boxed alloc>
+    ///                   in (fn zw => <e : ty>, fn zu => zx) end))
+    ///     val zd = forcegc ()
+    /// in zh () end
+    /// ```
+    ///
+    /// The *inner* `let` scope ends before `zh` is applied, so `zx`'s
+    /// region is deallocated on scope exit under `rg-`, while `zh`'s
+    /// closure environment still reaches the value through `zc`'s
+    /// intermediate type variable — spurious (free in the capture, not
+    /// in `zh`'s own type `unit -> ty`). `rg` keeps the region alive;
+    /// `rg-` dangles when the forced collection traces the closure.
+    fn figure1(&mut self, env: &mut Env, ty: &GTy, depth: u32) -> Expr {
+        let zc = self.comb(Comb::Compose);
+        let x = self.fresh("zv");
+        // The captured value must be a *fresh allocation* tied to the
+        // inner scope: a concat or an explicit pair, never a bare
+        // variable or literal that might live elsewhere.
+        let bound = if self.chance(1, 2) {
+            let n = self.expr(env, &GTy::Int, depth + 1);
+            prim(
+                PrimOp::Concat,
+                vec![prim(PrimOp::Itos, vec![n]), self.min_value(&GTy::Str)],
+            )
+        } else {
+            let n = self.expr(env, &GTy::Int, depth + 1);
+            pair(n, self.min_value(&GTy::Str))
+        };
+        // f : _ -> ty, discarding its argument (`zw` stays out of scope
+        // for the body so the captured value really is dead).
+        let w = self.fresh("zp");
+        let fbody = self.expr(env, ty, depth + 1);
+        let f = e(ExprKind::Lam {
+            param: w,
+            ann: None,
+            body: Box::new(fbody),
+        });
+        // g : unit -> m, returning the captured value.
+        let u = self.fresh("zp");
+        let g = e(ExprKind::Lam {
+            param: u,
+            ann: None,
+            body: Box::new(e(ExprKind::Var(x))),
+        });
+        let h = self.fresh("zv");
+        let d = self.fresh("zv");
+        e(ExprKind::Let {
+            decls: vec![
+                Decl::Val(
+                    h,
+                    app(
+                        zc,
+                        e(ExprKind::Let {
+                            decls: vec![Decl::Val(x, bound)],
+                            body: Box::new(pair(f, g)),
+                        }),
+                    ),
+                ),
+                Decl::Val(d, prim(PrimOp::ForceGc, vec![e(ExprKind::Unit)])),
+            ],
+            body: Box::new(app(e(ExprKind::Var(h)), e(ExprKind::Unit))),
+        })
+    }
+
+    /// Type-directed productions for each target type.
+    fn directed(&mut self, env: &mut Env, ty: &GTy, depth: u32) -> Expr {
+        match ty.clone() {
+            GTy::Int => self.int_expr(env, depth),
+            GTy::Bool => match self.pick(6) {
+                0 => e(ExprKind::Bool(self.chance(1, 2))),
+                1 => {
+                    let a = self.expr(env, &GTy::Bool, depth + 1);
+                    prim(PrimOp::Not, vec![a])
+                }
+                n => {
+                    let op = match n {
+                        2 => PrimOp::Lt,
+                        3 => PrimOp::Le,
+                        4 => PrimOp::Eq,
+                        _ => PrimOp::Ne,
+                    };
+                    let a = self.expr(env, &GTy::Int, depth + 1);
+                    let b = self.expr(env, &GTy::Int, depth + 1);
+                    prim(op, vec![a, b])
+                }
+            },
+            GTy::Str => match self.pick(5) {
+                0 | 1 => self.min_value(&GTy::Str),
+                2 => {
+                    let a = self.expr(env, &GTy::Int, depth + 1);
+                    prim(PrimOp::Itos, vec![a])
+                }
+                _ => {
+                    let a = self.expr(env, &GTy::Str, depth + 1);
+                    let b = self.expr(env, &GTy::Str, depth + 1);
+                    prim(PrimOp::Concat, vec![a, b])
+                }
+            },
+            GTy::Unit => match self.pick(8) {
+                0 | 1 => e(ExprKind::Unit),
+                2 => {
+                    let s = self.expr(env, &GTy::Str, depth + 1);
+                    prim(PrimOp::Print, vec![s])
+                }
+                // Forced collections are the schedule points where a
+                // dangling capture becomes observable.
+                3 | 4 => prim(PrimOp::ForceGc, vec![e(ExprKind::Unit)]),
+                5 => {
+                    // Assign through a ref variable in scope, if any.
+                    let refs: Vec<(Symbol, GTy)> = env
+                        .iter()
+                        .filter_map(|(s, t)| match t {
+                            GTy::Ref(inner) => Some((*s, (**inner).clone())),
+                            _ => None,
+                        })
+                        .collect();
+                    if refs.is_empty() {
+                        e(ExprKind::Unit)
+                    } else {
+                        let (s, inner) = refs[self.pick(refs.len() as u64) as usize].clone();
+                        let v = self.expr(env, &inner, depth + 1);
+                        e(ExprKind::Assign(Box::new(e(ExprKind::Var(s))), Box::new(v)))
+                    }
+                }
+                _ => {
+                    let a = self.expr(env, &GTy::Unit, depth + 1);
+                    let b = self.expr(env, &GTy::Unit, depth + 1);
+                    e(ExprKind::Seq(Box::new(a), Box::new(b)))
+                }
+            },
+            GTy::Pair(a, b) => {
+                let x = self.expr(env, &a, depth + 1);
+                let y = self.expr(env, &b, depth + 1);
+                pair(x, y)
+            }
+            GTy::List(elem) => match self.pick(7) {
+                0 => e(ExprKind::Nil),
+                1 | 2 => {
+                    let h = self.expr(env, &elem, depth + 1);
+                    let t = self.expr(env, &GTy::List(elem.clone()), depth + 1);
+                    e(ExprKind::Cons(Box::new(h), Box::new(t)))
+                }
+                3 if *elem == GTy::Int => {
+                    // zb (e mod k): a region-polymorphic recursive
+                    // builder with a bounded argument.
+                    let f = self.comb(Comb::Build);
+                    let n = self.expr(env, &GTy::Int, depth + 1);
+                    let k = 2 + self.pick(5) as i64;
+                    app(f, prim(PrimOp::Mod, vec![n, int(k)]))
+                }
+                4 => {
+                    // zm (fn h => e) xs: map from a random element type.
+                    let from = self.rty(depth + 1);
+                    let f = self.comb(Comb::MapList);
+                    let h = self.fresh("zp");
+                    env.push((h, from.clone()));
+                    let body = self.expr(env, &elem, depth + 1);
+                    env.pop();
+                    let xs = self.expr(env, &GTy::List(Box::new(from)), depth + 1);
+                    app2(
+                        f,
+                        e(ExprKind::Lam {
+                            param: h,
+                            ann: None,
+                            body: Box::new(body),
+                        }),
+                        xs,
+                    )
+                }
+                5 => {
+                    // za (xs, ys): polymorphic append.
+                    let f = self.comb(Comb::Append);
+                    let xs = self.expr(env, &GTy::List(elem.clone()), depth + 1);
+                    let ys = self.expr(env, &GTy::List(elem.clone()), depth + 1);
+                    app(f, pair(xs, ys))
+                }
+                _ => {
+                    let h = self.expr(env, &elem, depth + 1);
+                    e(ExprKind::Cons(Box::new(h), Box::new(e(ExprKind::Nil))))
+                }
+            },
+            GTy::Ref(inner) => {
+                let v = self.expr(env, &inner, depth + 1);
+                e(ExprKind::Ref(Box::new(v)))
+            }
+            GTy::Arrow(a, b) => self.arrow_expr(env, &a, &b, depth),
+        }
+    }
+
+    /// Productions for `Int` targets.
+    fn int_expr(&mut self, env: &mut Env, depth: u32) -> Expr {
+        match self.pick(11) {
+            0 => int(self.pick(50) as i64),
+            1 | 2 => {
+                let op = match self.pick(3) {
+                    0 => PrimOp::Add,
+                    1 => PrimOp::Sub,
+                    _ => PrimOp::Mul,
+                };
+                let a = self.expr(env, &GTy::Int, depth + 1);
+                let b = self.expr(env, &GTy::Int, depth + 1);
+                if op == PrimOp::Mul {
+                    // Keep products bounded-ish (wrapping is defined on
+                    // both machines, but small numbers read better in
+                    // shrunk repros).
+                    let k = 2 + self.pick(7) as i64;
+                    prim(PrimOp::Mul, vec![a, prim(PrimOp::Mod, vec![b, int(k)])])
+                } else {
+                    prim(op, vec![a, b])
+                }
+            }
+            3 => {
+                let a = self.expr(env, &GTy::Int, depth + 1);
+                // `~<literal>` lexes back as a negative literal, so fold
+                // it here to keep printing a parse fixed point.
+                if let ExprKind::Int(n) = a.kind {
+                    int(n.wrapping_neg())
+                } else {
+                    prim(PrimOp::Neg, vec![a])
+                }
+            }
+            4 => {
+                let s = self.expr(env, &GTy::Str, depth + 1);
+                prim(PrimOp::Size, vec![s])
+            }
+            5 => {
+                // zs (int list consumer)
+                let f = self.comb(Comb::Sum);
+                let xs = self.expr(env, &GTy::List(Box::new(GTy::Int)), depth + 1);
+                app(f, xs)
+            }
+            6 => {
+                // zln at a boxed-biased element type (polymorphic length)
+                let f = self.comb(Comb::Len);
+                let elem = self.rty_boxed(depth + 1);
+                let xs = self.expr(env, &GTy::List(Box::new(elem)), depth + 1);
+                app(f, xs)
+            }
+            7 => {
+                // zlp (e mod k): bounded structural recursion
+                let f = self.comb(Comb::Loop);
+                let n = self.expr(env, &GTy::Int, depth + 1);
+                let k = 2 + self.pick(7) as i64;
+                app(f, prim(PrimOp::Mod, vec![n, int(k)]))
+            }
+            8 => {
+                // let val zr = ref e in (zr := !zr + e'; !zr) end
+                let r = self.fresh("zv");
+                let init = self.expr(env, &GTy::Int, depth + 1);
+                env.push((r, GTy::Ref(Box::new(GTy::Int))));
+                let add = self.expr(env, &GTy::Int, depth + 1);
+                env.pop();
+                let rv = e(ExprKind::Var(r));
+                let body = e(ExprKind::Seq(
+                    Box::new(e(ExprKind::Assign(
+                        Box::new(rv.clone()),
+                        Box::new(prim(
+                            PrimOp::Add,
+                            vec![e(ExprKind::Deref(Box::new(rv.clone()))), add],
+                        )),
+                    ))),
+                    Box::new(e(ExprKind::Deref(Box::new(rv)))),
+                ));
+                e(ExprKind::Let {
+                    decls: vec![Decl::Val(r, e(ExprKind::Ref(Box::new(init))))],
+                    body: Box::new(body),
+                })
+            }
+            _ => {
+                let a = self.expr(env, &GTy::Int, depth + 1);
+                let b = self.expr(env, &GTy::Int, depth + 1);
+                prim(PrimOp::Add, vec![a, b])
+            }
+        }
+    }
+
+    /// Productions for `Arrow(a, b)` targets: lambdas, bare combinator
+    /// instantiations, partial applications, and composition chains.
+    fn arrow_expr(&mut self, env: &mut Env, a: &GTy, b: &GTy, depth: u32) -> Expr {
+        match self.pick(8) {
+            // zc (f, g): the composition production. The intermediate
+            // type is boxed-biased — this is where spurious type
+            // variables meet boxed instantiation.
+            0 | 1 => {
+                let m = self.rty_boxed(depth + 1);
+                let zc = self.comb(Comb::Compose);
+                let f = self.expr(
+                    env,
+                    &GTy::Arrow(Box::new(m.clone()), Box::new(b.clone())),
+                    depth + 1,
+                );
+                let g = self.expr(
+                    env,
+                    &GTy::Arrow(Box::new(a.clone()), Box::new(m)),
+                    depth + 1,
+                );
+                app(zc, pair(f, g))
+            }
+            // bare zid at a == b
+            2 if a == b => self.comb(Comb::Id),
+            // zk e : any -> b
+            3 => {
+                let zk = self.comb(Comb::Konst);
+                let keep = self.expr(env, b, depth + 1);
+                app(zk, keep)
+            }
+            // zt f : (a -> a) -> a -> a, partially applied, when a == b
+            4 if a == b => {
+                let zt = self.comb(Comb::Twice);
+                let f = self.expr(
+                    env,
+                    &GTy::Arrow(Box::new(a.clone()), Box::new(a.clone())),
+                    depth + 1,
+                );
+                app(zt, f)
+            }
+            // fn zpN => body
+            _ => {
+                let p = self.fresh("zp");
+                env.push((p, a.clone()));
+                let body = self.expr(env, b, depth + 1);
+                env.pop();
+                e(ExprKind::Lam {
+                    param: p,
+                    ann: None,
+                    body: Box::new(body),
+                })
+            }
+        }
+    }
+}
+
+/// Generates a whole well-typed program from `(seed, fuel)`.
+///
+/// The program always declares `fun main () = <int expr>` last; before
+/// it come the exception declarations, the polymorphic combinators the
+/// body actually uses (in first-use order), and any monomorphic helper
+/// functions.
+pub fn generate(opts: &GenOpts) -> Program {
+    let mut g = Gen::new(opts);
+    let mut env: Env = Vec::new();
+
+    // Optional monomorphic helpers `fun zfN zpM = <int expr>`; they
+    // close over nothing but may register combinators and give `main` a
+    // first-order call target.
+    let mut helpers: Vec<(Symbol, Symbol, Expr)> = Vec::new();
+    let n_helpers = g.pick(3);
+    for _ in 0..n_helpers {
+        let pty = g.rty(1);
+        let name = g.fresh("zf");
+        let param = g.fresh("zp");
+        let mut henv: Env = vec![(param, pty.clone())];
+        let body = g.expr(&mut henv, &GTy::Int, 3);
+        helpers.push((name, param, body));
+        env.push((name, GTy::Arrow(Box::new(pty), Box::new(GTy::Int))));
+    }
+    // Refill the budget for main so helpers don't starve it.
+    g.fuel = g.fuel.max(i64::from(opts.fuel) / 2);
+
+    let body = g.expr(&mut env, &GTy::Int, 0);
+
+    let mut decls: Vec<Decl> = Vec::new();
+    for x in &g.exns {
+        decls.push(Decl::Exception(*x, Some(TyAnn::Int)));
+    }
+    for c in &g.combos {
+        decls.push(comb_decl(*c));
+    }
+    for (name, param, hbody) in helpers {
+        decls.push(Decl::Fun(vec![FunBind {
+            name,
+            params: vec![(param, None)],
+            ret: None,
+            body: hbody,
+            span: Span::DUMMY,
+        }]));
+    }
+    decls.push(Decl::Fun(vec![FunBind {
+        name: Symbol::intern("main"),
+        params: vec![(Symbol::intern("zu"), Some(TyAnn::Unit))],
+        ret: None,
+        body,
+        span: Span::DUMMY,
+    }]));
+    Program { decls }
+}

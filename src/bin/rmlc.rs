@@ -30,6 +30,16 @@
 //!   --metrics               print the unified metrics snapshot (phase
 //!                           times, store counters, heap stats, GC pause
 //!                           percentiles) after the run
+//!   --gen=SEED              compile the deterministic rml-gen program
+//!                           for SEED instead of reading a file (implies
+//!                           --no-basis; generated programs are
+//!                           self-contained). `rmlc --gen=SEED --torture`
+//!                           reproduces a fuzzgen failure from its seed
+//!                           line alone.
+//!   --gen-fuel=N            generator node budget for --gen (default 40,
+//!                           the fuzzgen default)
+//!   --print-src             print the surface source being compiled
+//!                           (useful with --gen to capture a corpus file)
 //! ```
 //!
 //! Compile and check errors are rendered as source-located diagnostics
@@ -49,8 +59,8 @@ fn usage() -> ! {
          [--print-term] [--print-schemes] [--check] [--check-full] \
          [--emit=ir] [-o <file>] [--stats] [--torture] [--gc-stress=N] \
          [--alloc-budget=N] [--depth-limit=N] [--seed=N] \
-         [--profile[=PATH]] [--metrics] \
-         (<file.rml> | -e <expr> | --load-ir <file.ir>)"
+         [--profile[=PATH]] [--metrics] [--gen-fuel=N] [--print-src] \
+         (<file.rml> | -e <expr> | --gen=SEED | --load-ir <file.ir>)"
     );
     std::process::exit(2)
 }
@@ -105,6 +115,9 @@ fn main() {
     let mut seed: u64 = 0x7041_10E5;
     let mut profile: Option<String> = None;
     let mut metrics = false;
+    let mut gen_seed: Option<u64> = None;
+    let mut gen_fuel: u64 = 40;
+    let mut print_src = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strategy" => {
@@ -141,9 +154,34 @@ fn main() {
                 profile = Some(p.to_string())
             }
             "--metrics" => metrics = true,
+            s if s.starts_with("--gen-fuel=") => gen_fuel = parse_num(s),
+            s if s.starts_with("--gen=") => gen_seed = Some(parse_num(s)),
+            "--gen" => {
+                gen_seed = Some(match args.next().as_deref().map(str::parse) {
+                    Some(Ok(n)) => n,
+                    _ => usage(),
+                })
+            }
+            "--print-src" => print_src = true,
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => usage(),
         }
+    }
+    // --gen: synthesize the deterministic rml-gen program for the seed.
+    // Generated programs are self-contained (z-prefixed identifiers, no
+    // basis use), so the basis is skipped and the program is
+    // bit-identical to what the fuzzgen driver tested for this seed.
+    let mut generated: Option<(String, String)> = None;
+    if let Some(s) = gen_seed {
+        if file.is_some() || expr.is_some() || ir_path.is_some() {
+            usage()
+        }
+        use_basis = false;
+        let src = rml_gen::generate_source(&rml_gen::GenOpts {
+            seed: s,
+            fuel: gen_fuel as u32,
+        });
+        generated = Some((src, format!("gen-{s}")));
     }
     let recorder: Option<(Arc<trace::Recorder>, String)> = profile.map(|path| {
         let rec = Arc::new(trace::Recorder::new());
@@ -156,17 +194,24 @@ fn main() {
         if ir_path.is_some() {
             usage()
         }
-        let (src, name) = match (&file, &expr) {
-            (Some(f), None) => {
-                let src = std::fs::read_to_string(f).unwrap_or_else(|e| {
-                    eprintln!("rmlc: cannot read {f}: {e}");
-                    std::process::exit(1)
-                });
-                (src, f.clone())
+        let (src, name) = if let Some(g) = generated.clone() {
+            g
+        } else {
+            match (&file, &expr) {
+                (Some(f), None) => {
+                    let src = std::fs::read_to_string(f).unwrap_or_else(|e| {
+                        eprintln!("rmlc: cannot read {f}: {e}");
+                        std::process::exit(1)
+                    });
+                    (src, f.clone())
+                }
+                (None, Some(e)) => (format!("fun main () = {e}"), "<expr>".to_string()),
+                _ => usage(),
             }
-            (None, Some(e)) => (format!("fun main () = {e}"), "<expr>".to_string()),
-            _ => usage(),
         };
+        if print_src {
+            print!("{src}");
+        }
         let topts = rml::torture::TortureOpts {
             seed,
             with_basis: use_basis,
@@ -204,17 +249,24 @@ fn main() {
         });
         (c, p)
     } else {
-        let (src, name) = match (file, expr) {
-            (Some(f), None) => {
-                let src = std::fs::read_to_string(&f).unwrap_or_else(|e| {
-                    eprintln!("rmlc: cannot read {f}: {e}");
-                    std::process::exit(1)
-                });
-                (src, f)
+        let (src, name) = if let Some(g) = generated {
+            g
+        } else {
+            match (file, expr) {
+                (Some(f), None) => {
+                    let src = std::fs::read_to_string(&f).unwrap_or_else(|e| {
+                        eprintln!("rmlc: cannot read {f}: {e}");
+                        std::process::exit(1)
+                    });
+                    (src, f)
+                }
+                (None, Some(e)) => (format!("fun main () = {e}"), "<expr>".to_string()),
+                _ => usage(),
             }
-            (None, Some(e)) => (format!("fun main () = {e}"), "<expr>".to_string()),
-            _ => usage(),
         };
+        if print_src {
+            print!("{src}");
+        }
         let full_src = if use_basis {
             format!("{}\n{}", rml::basis::BASIS, src)
         } else {

@@ -1,0 +1,70 @@
+//! Distribution checks over a fixed-seed generator batch: `rml-gen` is
+//! deliberately biased toward the shapes the paper's repair exists for —
+//! higher-order polymorphic functions (whose quantified type variables
+//! carry the coverage obligation) and functions with *spurious* type
+//! variables (Section 4.3, the source of the `rg-` unsoundness). This
+//! test pins that bias so a generator refactor cannot silently regress
+//! the fuzzer into trivial first-order programs.
+
+use rml::{compile, Strategy};
+use rml_core::types::{BoxTy, Mu};
+use rml_gen::{generate_source, GenOpts};
+
+const BATCH: u64 = 100;
+const FUEL: u32 = 40;
+
+fn mu_has_arrow(mu: &Mu) -> bool {
+    match mu {
+        Mu::Var(_) | Mu::Int | Mu::Bool | Mu::Unit => false,
+        Mu::Boxed(b, _) => match &**b {
+            BoxTy::Arrow(..) => true,
+            BoxTy::Pair(a, b) => mu_has_arrow(a) || mu_has_arrow(b),
+            BoxTy::List(m) | BoxTy::Ref(m) => mu_has_arrow(m),
+            BoxTy::Str | BoxTy::Exn => false,
+        },
+    }
+}
+
+/// A scheme is "higher-order polymorphic" when it quantifies type
+/// variables (non-empty ∆) and its argument type contains an arrow.
+fn higher_order_polymorphic(s: &rml_core::types::Scheme) -> bool {
+    if s.delta.is_empty() {
+        return false;
+    }
+    let BoxTy::Arrow(arg, _, _) = &s.body else {
+        return false;
+    };
+    mu_has_arrow(arg)
+}
+
+#[test]
+fn batch_is_biased_toward_the_papers_hard_shapes() {
+    let mut higher_order_poly = 0usize;
+    let mut with_spurious = 0usize;
+    for seed in 0..BATCH {
+        let src = generate_source(&GenOpts { seed, fuel: FUEL });
+        let c = compile(&src, Strategy::Rg)
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\nsrc: {src}"));
+        if c.output
+            .schemes
+            .iter()
+            .any(|(_, s)| higher_order_polymorphic(s))
+        {
+            higher_order_poly += 1;
+        }
+        if c.output.stats.spurious_fns > 0 {
+            with_spurious += 1;
+        }
+    }
+    // The ISSUE floor: at least 20% of a batch must contain a
+    // higher-order polymorphic function...
+    assert!(
+        higher_order_poly * 5 >= BATCH as usize,
+        "only {higher_order_poly}/{BATCH} programs contain a higher-order polymorphic function"
+    );
+    // ...and some must exhibit spurious type variables.
+    assert!(
+        with_spurious > 0,
+        "no program in the batch has a spurious type variable"
+    );
+}

@@ -12,17 +12,27 @@
 //! agreement on non-trivial higher-order polymorphic code.
 
 use rml::{compile, Strategy};
-use rml_core::semantics::Machine;
+use rml_core::semantics::{Machine, StepResult};
 use rml_core::terms::Term;
 use rml_core::typing::{Checker, GcCheck, TypeEnv};
 use rml_core::Pi;
 
-/// Steps `term` to a value, checking the Figure 4 rules after every step.
+/// How often the Figure 4 checker re-runs during a stepping loop. Small
+/// enough that every suite program is re-checked many times along its
+/// reduction sequence, large enough to keep the quadratic cost (checker
+/// walks × term size) negligible.
+const RECHECK_EVERY: u64 = 64;
+
+/// Steps `term` to a value one reduction at a time, re-running the
+/// Figure 4 checker on the intermediate term every [`RECHECK_EVERY`]
+/// steps and asserting `π` is preserved (Proposition 18). Containment
+/// (Theorem 2) is monitored on every single step, and reaching a value
+/// at all is progress (Proposition 19).
 fn check_every_step(c: &rml::Compiled, max_steps: usize) {
     let checker = Checker {
         exns: c.output.exns.clone(),
         gc: GcCheck::Full,
-        store: vec![],
+        store: vec![], // the suite is ref-free (asserted below)
     };
     let env = TypeEnv::default();
     let (pi0, _phi0) = checker
@@ -30,34 +40,53 @@ fn check_every_step(c: &rml::Compiled, max_steps: usize) {
         .unwrap_or_else(|e| panic!("initial check failed: {e}"));
     let mut machine = Machine::new([c.output.global]);
     machine.monitor = true;
-    // Drive the machine one step at a time by running with fuel 1 on the
-    // current term. `Machine::eval` consumes the term, so we re-check via
-    // a custom loop: reuse eval with increasing fuel is quadratic; instead
-    // we rely on the monitor for containment and spot-check typing every
-    // few steps by re-running from scratch with a step budget.
-    let _ = pi0;
-    // Containment + progress: full run with monitor on.
-    let v = machine
-        .eval(c.output.term.clone(), max_steps as u64)
-        .unwrap_or_else(|e| panic!("evaluation failed (progress violated?): {e}"));
-    // Preservation (spot-check): the final value types at the same π.
-    let store_types: Vec<rml_core::types::Mu> = machine
-        .store
-        .iter()
-        .map(|_| rml_core::types::Mu::Int) // refs excluded from this suite
-        .collect();
-    let checker2 = Checker {
-        exns: c.output.exns.clone(),
-        gc: GcCheck::Full,
-        store: store_types,
-    };
-    if machine.store.is_empty() {
-        let pi_v = checker2
-            .check_value(&v)
-            .unwrap_or_else(|e| panic!("final value fails to type: {e}"));
-        if let (Pi::Mu(a), Pi::Mu(b)) = (&pi0, &pi_v) {
-            assert_eq!(a, b, "preservation: π changed");
+    let mut cur = c.output.term.clone();
+    let mut rechecks = 0u64;
+    let v = loop {
+        assert!(
+            machine.steps < max_steps as u64,
+            "step budget exhausted (progress violated?)"
+        );
+        match machine
+            .step(cur)
+            .unwrap_or_else(|e| panic!("evaluation failed (progress violated?): {e}"))
+        {
+            StepResult::Done(v) => break v,
+            StepResult::Raised(v) => panic!("uncaught exception escaped: {v:?}"),
+            StepResult::Next(e2) => {
+                if machine.steps.is_multiple_of(RECHECK_EVERY) {
+                    // Preservation: the intermediate configuration still
+                    // satisfies the Figure 4 rules, at the same π.
+                    let (pi_i, _) = checker.check(&env, &e2).unwrap_or_else(|e| {
+                        panic!(
+                            "step {}: intermediate term fails Figure 4: {e}",
+                            machine.steps
+                        )
+                    });
+                    if let (Pi::Mu(a), Pi::Mu(b)) = (&pi0, &pi_i) {
+                        assert_eq!(a, b, "preservation: π changed at step {}", machine.steps);
+                    }
+                    rechecks += 1;
+                }
+                cur = e2;
+            }
         }
+    };
+    assert!(
+        rechecks > 0 || machine.steps < RECHECK_EVERY,
+        "stepping loop never re-checked an intermediate term"
+    );
+    assert!(
+        machine.store.is_empty(),
+        "suite programs must stay ref-free so the empty store typing holds"
+    );
+    // Preservation at the end of the sequence: the final value types at
+    // the same π.
+    let pi_v = checker
+        .check_value(&v)
+        .unwrap_or_else(|e| panic!("final value fails to type: {e}"));
+    if let (Pi::Mu(a), Pi::Mu(b)) = (&pi0, &pi_v) {
+        assert_eq!(a, b, "preservation: π changed");
     }
 }
 
@@ -91,13 +120,17 @@ fn preservation_progress_and_containment_hold() {
 #[test]
 fn stepwise_subject_reduction_on_small_programs() {
     // True per-step subject reduction, on programs small enough to
-    // re-check the whole term at every step.
+    // re-check the whole term at every single reduction. The `map`
+    // program exercises the instantiation bookkeeping for unfoldings of
+    // type-polymorphic recursion (`complete_rec_ty_insts`).
     for src in [
         "fun main () = 1 + 2",
         "fun id x = x fun main () = id 4",
         "fun main () = #2 (7, 8)",
         "fun main () = if 1 < 2 then 10 else 20",
         "fun main () = size \"xyz\"",
+        "fun map f xs = case xs of nil => nil | h :: t => f h :: map f t \
+         fun main () = case map (fn x => x + 1) [1, 2] of nil => 0 | h :: t => h",
     ] {
         let c = compile(src, Strategy::Rg).unwrap();
         let checker = Checker {
@@ -107,26 +140,29 @@ fn stepwise_subject_reduction_on_small_programs() {
         };
         let env = TypeEnv::default();
         let (pi0, _) = checker.check(&env, &c.output.term).unwrap();
-        // Step manually by running with fuel k for increasing k and
-        // checking the machine can always proceed (progress); at each
-        // prefix the program either finished or is still well-formed.
-        let mut fuel = 1u64;
+        let mut m = Machine::new([c.output.global]);
+        m.monitor = true;
+        let mut cur = c.output.term.clone();
         loop {
-            let mut m = Machine::new([c.output.global]);
-            m.monitor = true;
-            match m.eval(c.output.term.clone(), fuel) {
-                Ok(v) => {
+            assert!(m.steps < 10_000, "{src}: runaway");
+            match m.step(cur).unwrap_or_else(|e| panic!("{src}: {e}")) {
+                StepResult::Done(v) => {
                     let pv = checker.check_value(&v).unwrap();
                     if let (Pi::Mu(a), Pi::Mu(b)) = (&pi0, &pv) {
                         assert_eq!(a, b, "{src}: preservation");
                     }
                     break;
                 }
-                Err(rml_core::semantics::EvalError::OutOfFuel) => {
-                    fuel += 1;
-                    assert!(fuel < 10_000, "{src}: runaway");
+                StepResult::Raised(v) => panic!("{src}: uncaught exception {v:?}"),
+                StepResult::Next(e2) => {
+                    let (pi_i, _) = checker
+                        .check(&env, &e2)
+                        .unwrap_or_else(|e| panic!("{src}: step {}: {e}", m.steps));
+                    if let (Pi::Mu(a), Pi::Mu(b)) = (&pi0, &pi_i) {
+                        assert_eq!(a, b, "{src}: preservation at step {}", m.steps);
+                    }
+                    cur = e2;
                 }
-                Err(e) => panic!("{src}: {e}"),
             }
         }
     }

@@ -1,105 +1,108 @@
-//! Property-based end-to-end testing: randomly generated well-typed
-//! programs must (1) type-check under Figure 4 after `rg` inference,
-//! (2) run identically under the formal semantics (with the Theorem 2
-//! monitor) and the heap machine (with an aggressive collector), and
-//! (3) produce the same value under all three strategies and the
-//! regionless baseline.
+//! Property-based end-to-end testing over `rml-gen`: seeded, type-directed
+//! random programs must (1) type-check under Figure 4 after `rg`
+//! inference, (2) run identically under the formal semantics (with the
+//! Theorem 2 monitor) and the heap machine (with an aggressive
+//! collector), and (3) produce the same value under the `r` strategy and
+//! the regionless baseline. The unsound `rg-` strategy is permitted to
+//! diverge, but only by faulting with a dangling-pointer error — the
+//! generator deliberately emits Figure 1-shaped programs that dangle
+//! under `rg-`, which is precisely what the paper's repair rules out.
+//!
+//! Programs are produced by the shared generator (`crates/gen`), so every
+//! failure here reproduces from its seed: `rmlc --gen=SEED --torture`.
 
-use proptest::prelude::*;
-use rml::Strategy as RmlStrategy;
-use rml::{compile, execute, ExecOpts};
-use rml_eval::GcPolicy;
+use rml::{compile, execute, ExecOpts, Strategy};
+use rml_eval::{GcPolicy, RunError};
+use rml_gen::{generate_source, GenOpts};
 
-/// A generator for well-typed integer expressions over the variables
-/// `x`, `y` and the prelude functions below.
-fn int_expr() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        (0i64..50).prop_map(|n| n.to_string()),
-        Just("x".to_string()),
-        Just("y".to_string()),
-    ];
-    leaf.prop_recursive(4, 48, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * ({b} mod 7))")),
-            (inner.clone(), inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c, d)| format!("(if {a} < {b} then {c} else {d})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("(let val v = {a} in v + {b} end)")),
-            inner.clone().prop_map(|a| format!("(inc {a})")),
-            inner.clone().prop_map(|a| format!("(dbl {a})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("(#1 ({a}, {b}) + #2 ({b}, {a}))")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(lsum [{a}, {b}, 3])")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("((comp (fn a => a + {a}, fn a => a * 2)) {b})")),
-            inner
-                .clone()
-                .prop_map(|a| format!("(llen (lmap (fn e => e + 1) [{a}, 1]))")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("(let val r = ref {a} in (r := !r + {b}; !r) end)")),
-        ]
+const CASES: u64 = 48;
+const FUEL_STEPS: u64 = 3_000_000;
+
+/// The deterministic case list: seeds `base..base + CASES`, with the
+/// generator's size budget cycling so small and large programs both
+/// appear.
+fn cases(base: u64) -> impl Iterator<Item = (u64, String)> {
+    (base..base + CASES).map(|seed| {
+        let fuel = match seed % 3 {
+            0 => 20,
+            1 => 40,
+            _ => 60,
+        };
+        (seed, generate_source(&GenOpts { seed, fuel }))
     })
 }
 
-const PRELUDE: &str = "\
-fun inc n = n + 1 \
-fun dbl n = n + n \
-fun comp (f, g) = fn a => f (g a) \
-fun lsum xs = case xs of nil => 0 | h :: t => h + lsum t \
-fun llen xs = case xs of nil => 0 | h :: t => 1 + llen t \
-fun lmap f xs = case xs of nil => nil | h :: t => f h :: lmap f t ";
-
-fn program_for(expr: &str) -> String {
-    format!("{PRELUDE}\nfun main () = let val x = 3 val y = 11 in {expr} end")
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_are_gc_safe_and_strategy_independent(expr in int_expr()) {
-        let src = program_for(&expr);
+#[test]
+fn random_programs_are_gc_safe_and_strategy_independent() {
+    for (seed, src) in cases(1_000) {
         // rg: must check and run under the containment monitor.
-        let rg = compile(&src, RmlStrategy::Rg).unwrap();
-        rml::check(&rg).unwrap_or_else(|e| panic!("G check failed: {e}\nsrc: {src}"));
+        let rg = compile(&src, Strategy::Rg)
+            .unwrap_or_else(|e| panic!("seed {seed}: rg compile failed: {e}\nsrc: {src}"));
+        rml::check(&rg).unwrap_or_else(|e| panic!("seed {seed}: G check failed: {e}\nsrc: {src}"));
         let mut formal = rml_core::semantics::Machine::new([rg.output.global]);
         formal.monitor = true;
         let fv = formal
-            .eval(rg.output.term.clone(), 3_000_000)
-            .unwrap_or_else(|e| panic!("formal eval failed: {e}\nsrc: {src}"));
+            .eval(rg.output.term.clone(), FUEL_STEPS)
+            .unwrap_or_else(|e| panic!("seed {seed}: formal eval failed: {e}\nsrc: {src}"));
         // Heap machine with aggressive collection.
         let opts = ExecOpts {
-            gc: Some(GcPolicy::On { min_bytes: 256, ratio: 1.05, generational: false }),
+            gc: Some(GcPolicy::On {
+                min_bytes: 256,
+                ratio: 1.05,
+                generational: false,
+            }),
             ..ExecOpts::default()
         };
-        let hv = execute(&rg, &opts).unwrap_or_else(|e| panic!("heap eval failed: {e}\nsrc: {src}"));
+        let hv = execute(&rg, &opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: heap eval failed: {e}\nsrc: {src}"));
         if let (rml_core::Value::Int(a), rml_eval::RunValue::Int(b)) = (&fv, &hv.value) {
-            prop_assert_eq!(a, b, "formal vs heap disagree on {}", src);
+            assert_eq!(a, b, "seed {seed}: formal vs heap disagree on {src}");
         }
-        // Strategy independence (+ baseline).
-        for s in [RmlStrategy::RgMinus, RmlStrategy::R] {
-            let c = compile(&src, s).unwrap();
-            let v = execute(&c, &ExecOpts::default()).unwrap().value;
-            prop_assert_eq!(&v, &hv.value, "strategy {:?} disagrees on {}", s, src);
+        // The sound Tofte–Talpin strategy and the regionless baseline
+        // must agree exactly.
+        let r = compile(&src, Strategy::R).unwrap();
+        let rv = execute(&r, &ExecOpts::default()).unwrap().value;
+        assert_eq!(rv, hv.value, "seed {seed}: strategy r disagrees on {src}");
+        let bv = execute(
+            &rg,
+            &ExecOpts {
+                baseline: true,
+                ..ExecOpts::default()
+            },
+        )
+        .unwrap()
+        .value;
+        assert_eq!(bv, hv.value, "seed {seed}: baseline disagrees on {src}");
+        // rg- may fault — but only with a dangling pointer, and only
+        // because the generator emits programs whose GC safety genuinely
+        // needs the coverage rule. Any other divergence is a bug.
+        let rgm = compile(&src, Strategy::RgMinus).unwrap();
+        match execute(&rgm, &ExecOpts::default()) {
+            Ok(out) => assert_eq!(out.value, hv.value, "seed {seed}: rg- disagrees on {src}"),
+            Err(RunError::Dangling(_)) => {}
+            Err(e) => panic!("seed {seed}: rg- failed with a non-dangling error: {e}\nsrc: {src}"),
         }
-        let bv = execute(&rg, &ExecOpts { baseline: true, ..ExecOpts::default() })
-            .unwrap()
-            .value;
-        prop_assert_eq!(&bv, &hv.value, "baseline disagrees on {}", src);
     }
+}
 
-    #[test]
-    fn generational_collection_agrees(expr in int_expr()) {
-        let src = program_for(&expr);
-        let c = compile(&src, RmlStrategy::Rg).unwrap();
+#[test]
+fn generational_collection_agrees() {
+    for (seed, src) in cases(9_000) {
+        let c = compile(&src, Strategy::Rg)
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\nsrc: {src}"));
         let plain = execute(&c, &ExecOpts::default()).unwrap().value;
         let opts = ExecOpts {
-            gc: Some(GcPolicy::On { min_bytes: 256, ratio: 1.05, generational: true }),
+            gc: Some(GcPolicy::On {
+                min_bytes: 256,
+                ratio: 1.05,
+                generational: true,
+            }),
             ..ExecOpts::default()
         };
         let gen = execute(&c, &opts).unwrap().value;
-        prop_assert_eq!(plain, gen, "generational GC changed the result of {}", src);
+        assert_eq!(
+            plain, gen,
+            "seed {seed}: generational GC changed the result of {src}"
+        );
     }
 }
